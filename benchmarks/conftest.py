@@ -1,0 +1,19 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+at "quick" scale (reduced register widths / round counts) so the full
+sweep finishes in minutes.  Pass ``--benchmark-only`` to run them; the
+reported wall-clock is the end-to-end experiment time, and every
+benchmark also asserts the qualitative result ("who wins") that the
+corresponding figure reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,31 @@
+"""Benchmark: raw compiler throughput (not a paper figure).
+
+Measures the instrumentation-driven compiler itself — how long one
+compilation of a mid-sized benchmark takes under each policy — which is
+the quantity the paper's Section III-D argues scales linearly with the
+number of reclamation points.
+"""
+
+import pytest
+
+from repro.arch.nisq import NISQMachine
+from repro.core.compiler import compile_program
+from repro.workloads import load_benchmark
+
+POLICIES = ("lazy", "eager", "square")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_bench_compile_adder32(benchmark, policy):
+    program = load_benchmark("ADDER32")
+    machine = NISQMachine.with_qubits(192)
+    result = benchmark(compile_program, program, machine, policy=policy)
+    assert result.gate_count > 0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_bench_compile_sha2_small(benchmark, policy):
+    program = load_benchmark("SHA2", word_width=4, rounds=2)
+    machine = NISQMachine.with_qubits(256)
+    result = benchmark(compile_program, program, machine, policy=policy)
+    assert result.gate_count > 0

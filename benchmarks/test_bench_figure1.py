@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1 (qubit usage over time for MODEXP)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark):
+    experiment = run_once(benchmark, figure1.run, scale="quick")
+    areas = {row["policy"]: row["area (AQV)"] for row in experiment.rows}
+    peaks = {row["policy"]: row["peak qubits"] for row in experiment.rows}
+    # Paper shape: Eager trades qubits for time, Lazy the reverse, SQUARE
+    # has the smallest area under the curve.
+    assert peaks["eager"] < peaks["lazy"]
+    assert areas["square"] <= areas["lazy"]
+    assert areas["square"] <= areas["eager"]
+    print(figure1.format_report(experiment))

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (normalized AQV on FT machines)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure10
+
+
+def test_bench_figure10(benchmark):
+    experiment = run_once(benchmark, figure10.run, scale="quick")
+    for row in experiment.rows:
+        assert abs(row["lazy"] - 1.0) < 1e-9
+        assert row["square"] > 0
+    # Paper shape: SQUARE reduces AQV vs Lazy on the FT machine for most
+    # benchmarks (44% on average in the paper).
+    wins = sum(1 for row in experiment.rows if row["square"] <= 1.05)
+    assert wins >= len(experiment.rows) // 2
+    print(figure10.format_report(experiment))

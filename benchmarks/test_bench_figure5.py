@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 5 (locality changes the preferred strategy)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure5
+
+
+def test_bench_figure5(benchmark):
+    experiment = run_once(benchmark, figure5.run)
+    aqv = experiment.extras["aqv"]
+    # On the fully-connected machine uncomputation buys nothing, so Lazy
+    # must beat Eager (the right-hand side of Figure 5).
+    assert aqv["fully-connected"]["lazy"] < aqv["fully-connected"]["eager"]
+    # On both machines SQUARE must not lose to the better baseline by much
+    # (it adapts to the machine).
+    best_lattice = min(aqv["lattice"]["lazy"], aqv["lattice"]["eager"])
+    assert aqv["lattice"]["square"] <= 1.2 * best_lattice
+    print(figure5.format_report(experiment))

@@ -1,0 +1,40 @@
+"""Benchmarks: regenerate the three panels of Figure 8 (NISQ impact)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure8
+
+
+def test_bench_figure8a_aqv(benchmark):
+    experiment = run_once(benchmark, figure8.run_aqv)
+    wins = sum(1 for row in experiment.rows if row["square"] <= row["lazy"])
+    # Paper shape: SQUARE's AQV is at or below Lazy's for most benchmarks.
+    assert wins >= len(experiment.rows) // 2
+    print(figure8.format_report(experiment))
+
+
+def test_bench_figure8b_success_rate(benchmark):
+    experiment = run_once(benchmark, figure8.run_success)
+    for row in experiment.rows:
+        for policy in ("lazy", "eager", "square"):
+            assert 0.0 < row[policy] <= 1.0
+    # Paper headline: SQUARE improves mean success rate vs Eager.
+    assert experiment.extras["mean_improvement_vs_eager"] > 1.0
+    print(figure8.format_report(experiment))
+    print(f"mean improvement vs eager: "
+          f"{experiment.extras['mean_improvement_vs_eager']:.2f}x, "
+          f"vs lazy: {experiment.extras['mean_improvement_vs_lazy']:.2f}x")
+
+
+def test_bench_figure8c_noise_simulation(benchmark):
+    experiment = run_once(benchmark, figure8.run_noise, shots=1024)
+    for row in experiment.rows:
+        for policy in ("lazy", "eager", "square"):
+            assert 0.0 <= row[policy] <= 1.0
+    # Paper shape: SQUARE reaches the lowest (or tied) distance for most
+    # benchmarks.
+    wins = sum(
+        1 for row in experiment.rows
+        if row["square"] <= min(row["lazy"], row["eager"]) + 0.05
+    )
+    assert wins >= len(experiment.rows) // 2
+    print(figure8.format_report(experiment))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (normalized AQV, NISQ-FT boundary)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark):
+    experiment = run_once(benchmark, figure9.run, scale="quick")
+    for row in experiment.rows:
+        assert abs(row["lazy"] - 1.0) < 1e-9
+        assert row["square"] > 0
+    # Paper shape: on average SQUARE reduces AQV relative to Lazy.
+    wins = sum(1 for row in experiment.rows if row["square"] <= 1.05)
+    assert wins >= len(experiment.rows) // 2
+    print(figure9.format_report(experiment))

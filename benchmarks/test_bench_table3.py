@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table III (NISQ compilation results)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark):
+    experiment = run_once(benchmark, table3.run)
+    by_benchmark = {}
+    for row in experiment.rows:
+        by_benchmark.setdefault(row["benchmark"], {})[row["policy"]] = row
+    for name, policies in by_benchmark.items():
+        # Paper shape: Eager pays extra gates for uncomputation, Lazy does
+        # not; no policy may exceed the 25-qubit machine.
+        assert policies["eager"]["gates"] >= policies["lazy"]["gates"], name
+        for row in policies.values():
+            assert row["qubits"] <= 25
+    print(table3.format_report(experiment))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table IV (noise-model parameters)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_bench_table4(benchmark):
+    experiment = run_once(benchmark, table4.run)
+    devices = {row["device"] for row in experiment.rows}
+    assert devices == {"IBM-Sup", "IonQ-Trap", "Our Simulation"}
+    simulation = next(row for row in experiment.rows
+                      if row["device"] == "Our Simulation")
+    assert simulation["single"] == "0.1%"
+    assert simulation["two"] == "1.0%"
+    print(table4.format_report(experiment))

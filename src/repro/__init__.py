@@ -1,0 +1,55 @@
+"""repro: a from-scratch reproduction of SQUARE (ISCA 2020).
+
+SQUARE (Strategic QUantum Ancilla REuse) is a compiler that decides where
+in a modular reversible quantum program to perform uncomputation so that
+scratch (ancilla) qubits can be reclaimed and reused, balancing gate cost
+against qubit cost on both NISQ and fault-tolerant machines.
+
+Typical use::
+
+    from repro import NISQMachine, compile_program
+    from repro.workloads import adder4
+
+    program = adder4()
+    machine = NISQMachine.grid(5, 5)
+    result = compile_program(program, machine, policy="square")
+    print(result.summary())
+"""
+
+from repro.arch import (
+    FTMachine,
+    IdealMachine,
+    Machine,
+    NISQMachine,
+    Topology,
+)
+from repro.core import (
+    POLICY_PRESETS,
+    CompilationResult,
+    CompilerConfig,
+    SquareCompiler,
+    compile_program,
+    preset,
+)
+from repro.ir import Circuit, ModuleBuilder, Program, QModule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CompilationResult",
+    "CompilerConfig",
+    "FTMachine",
+    "IdealMachine",
+    "Machine",
+    "ModuleBuilder",
+    "NISQMachine",
+    "POLICY_PRESETS",
+    "Program",
+    "QModule",
+    "SquareCompiler",
+    "Topology",
+    "__version__",
+    "compile_program",
+    "preset",
+]

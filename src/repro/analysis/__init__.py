@@ -1,0 +1,26 @@
+"""Analysis utilities: AQV comparisons, usage curves, report tables."""
+
+from repro.analysis.liveness import UsageCurve, ascii_plot, usage_curve
+from repro.analysis.metrics import (
+    PolicyComparison,
+    arithmetic_mean,
+    average_reduction,
+    geometric_mean,
+    improvement_factor,
+    normalized_aqv,
+)
+from repro.analysis.report import format_comparison, format_table
+
+__all__ = [
+    "PolicyComparison",
+    "UsageCurve",
+    "arithmetic_mean",
+    "ascii_plot",
+    "average_reduction",
+    "format_comparison",
+    "format_table",
+    "geometric_mean",
+    "improvement_factor",
+    "normalized_aqv",
+    "usage_curve",
+]

@@ -1,0 +1,90 @@
+"""Qubit-usage-over-time analysis (the Figure 1 curves)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.result import CompilationResult
+
+
+@dataclass(frozen=True)
+class UsageCurve:
+    """A piecewise-constant qubit-usage curve.
+
+    Attributes:
+        label: Curve label (usually the policy name).
+        points: (time, live-qubit-count) breakpoints, time-ascending.
+    """
+
+    label: str
+    points: Tuple[Tuple[int, int], ...]
+
+    @property
+    def peak(self) -> int:
+        """Maximum number of simultaneously live qubits."""
+        return max((count for _, count in self.points), default=0)
+
+    @property
+    def end_time(self) -> int:
+        """Time of the last breakpoint."""
+        return self.points[-1][0] if self.points else 0
+
+    def area(self) -> int:
+        """Area under the curve; equals the active quantum volume."""
+        total = 0
+        for (t0, live), (t1, _next_live) in zip(self.points, self.points[1:]):
+            total += live * (t1 - t0)
+        return total
+
+    def value_at(self, time: int) -> int:
+        """Live-qubit count at ``time`` (0 before the first breakpoint)."""
+        live = 0
+        for t, count in self.points:
+            if t > time:
+                break
+            live = count
+        return live
+
+    def resampled(self, num_samples: int = 200) -> List[Tuple[int, int]]:
+        """Evenly spaced samples of the curve, convenient for plotting."""
+        if num_samples < 2 or not self.points:
+            return list(self.points)
+        end = max(self.end_time, 1)
+        return [
+            (int(round(i * end / (num_samples - 1))),
+             self.value_at(int(round(i * end / (num_samples - 1)))))
+            for i in range(num_samples)
+        ]
+
+
+def usage_curve(result: CompilationResult, label: str = "") -> UsageCurve:
+    """Build the usage curve of a compilation result."""
+    return UsageCurve(
+        label=label or result.policy_name,
+        points=tuple(result.usage_series()),
+    )
+
+
+def ascii_plot(curves: Sequence[UsageCurve], width: int = 72,
+               height: int = 16) -> str:
+    """Render usage curves as an ASCII chart (for CLI experiment output)."""
+    if not curves:
+        return "(no curves)"
+    end = max(curve.end_time for curve in curves) or 1
+    peak = max(curve.peak for curve in curves) or 1
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+o#@%"
+    for index, curve in enumerate(curves):
+        marker = markers[index % len(markers)]
+        for column in range(width):
+            time = int(column * end / (width - 1)) if width > 1 else 0
+            value = curve.value_at(time)
+            row = height - 1 - int((value / peak) * (height - 1))
+            grid[row][column] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={curve.label}" for i, curve in enumerate(curves)
+    )
+    header = f"qubits (peak={peak})   time 0..{end}"
+    return "\n".join([header] + lines + [legend])

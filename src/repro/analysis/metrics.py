@@ -1,0 +1,91 @@
+"""Cross-policy comparison metrics (AQV ratios, normalisation, averages)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.result import CompilationResult
+
+
+def normalized_aqv(results: Mapping[str, CompilationResult],
+                   baseline: str = "lazy") -> Dict[str, float]:
+    """AQV of every policy divided by the baseline policy's AQV.
+
+    This is the quantity plotted in Figures 9 and 10 (normalised to Lazy).
+    """
+    if baseline not in results:
+        raise KeyError(f"baseline policy {baseline!r} missing from results")
+    base = results[baseline].active_quantum_volume
+    if base <= 0:
+        return {name: 1.0 for name in results}
+    return {
+        name: result.active_quantum_volume / base
+        for name, result in results.items()
+    }
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """How many times better ``improved`` is than ``baseline`` (lower=better)."""
+    if improved <= 0:
+        return math.inf
+    return baseline / improved
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, ignoring non-positive entries."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Summary of one benchmark compiled under several policies.
+
+    Attributes:
+        benchmark: Benchmark name.
+        results: Policy name -> compilation result.
+    """
+
+    benchmark: str
+    results: Mapping[str, CompilationResult]
+
+    def aqv(self, policy: str) -> int:
+        """AQV of one policy."""
+        return self.results[policy].active_quantum_volume
+
+    def aqv_reduction_vs(self, policy: str, baseline: str = "lazy") -> float:
+        """Factor by which ``policy`` reduces AQV relative to ``baseline``."""
+        return improvement_factor(self.aqv(baseline), self.aqv(policy))
+
+    def table_row(self) -> List[Dict[str, object]]:
+        """Rows in the format of Table III (one per policy)."""
+        rows = []
+        for policy, result in self.results.items():
+            rows.append({
+                "benchmark": self.benchmark,
+                "policy": policy,
+                "gates": result.gate_count,
+                "qubits": result.num_qubits_used,
+                "depth": result.circuit_depth,
+                "swaps": result.swap_count,
+                "aqv": result.active_quantum_volume,
+            })
+        return rows
+
+
+def average_reduction(comparisons: Iterable[PolicyComparison], policy: str,
+                      baseline: str = "lazy") -> float:
+    """Mean AQV-reduction factor of ``policy`` vs ``baseline`` over benchmarks."""
+    factors = [c.aqv_reduction_vs(policy, baseline) for c in comparisons]
+    return arithmetic_mean(factors)

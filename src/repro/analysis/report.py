@@ -1,0 +1,49 @@
+"""Plain-text report tables for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 floatfmt: str = ".3f") -> str:
+    """Render a list of dict rows as an aligned text table.
+
+    Args:
+        rows: Table rows; every row is a mapping from column name to value.
+        columns: Column order; defaults to the keys of the first row.
+        floatfmt: Format spec applied to float values.
+    """
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def format_comparison(title: str, rows: Sequence[Mapping[str, object]],
+                      columns: Optional[Sequence[str]] = None) -> str:
+    """A titled table block."""
+    table = format_table(rows, columns)
+    underline = "=" * len(title)
+    return f"{title}\n{underline}\n{table}\n"

@@ -1,0 +1,43 @@
+"""Machine architecture models: topologies, routing, NISQ and FT machines."""
+
+from repro.arch.braid import Braid, BraidRequest, BraidTracker, manhattan_route
+from repro.arch.ft import FT_GATE_DURATIONS, FTMachine
+from repro.arch.machine import (
+    DEFAULT_GATE_DURATIONS,
+    CommunicationResult,
+    IdealMachine,
+    Machine,
+)
+from repro.arch.mapping import Layout
+from repro.arch.nisq import (
+    IBM_SUPERCONDUCTING,
+    IONQ_TRAPPED_ION,
+    SIMULATION_NOISE,
+    NISQMachine,
+    NoiseParameters,
+)
+from repro.arch.routing import Route, SwapRouter, SwapStep
+from repro.arch.topology import Topology
+
+__all__ = [
+    "Braid",
+    "BraidRequest",
+    "BraidTracker",
+    "CommunicationResult",
+    "DEFAULT_GATE_DURATIONS",
+    "FTMachine",
+    "FT_GATE_DURATIONS",
+    "IBM_SUPERCONDUCTING",
+    "IONQ_TRAPPED_ION",
+    "IdealMachine",
+    "Layout",
+    "Machine",
+    "NISQMachine",
+    "NoiseParameters",
+    "Route",
+    "SIMULATION_NOISE",
+    "SwapRouter",
+    "SwapStep",
+    "Topology",
+    "manhattan_route",
+]

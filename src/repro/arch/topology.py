@@ -1,0 +1,231 @@
+"""Physical qubit topologies (coupling maps).
+
+The paper evaluates NISQ machines with 2-D lattice nearest-neighbour
+connectivity, an ideal fully-connected machine (Figure 5), and
+fault-tolerant machines whose logical qubits sit on a 2-D grid with
+routing channels.  A :class:`Topology` provides sites, adjacency,
+coordinates and all-pairs distances used by the router and by the
+locality-aware allocation heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ArchitectureError
+
+Coordinate = Tuple[int, int]
+
+
+class Topology:
+    """A coupling graph over physical sites.
+
+    Args:
+        graph: Undirected connectivity graph whose nodes are site indices.
+        coordinates: Optional map from site to (row, column) used for
+            geometric distance estimates and braid routing.
+        name: Human-readable topology name.
+    """
+
+    def __init__(
+        self,
+        graph: "nx.Graph",
+        coordinates: Optional[Dict[int, Coordinate]] = None,
+        name: str = "custom",
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ArchitectureError("topology must contain at least one site")
+        expected = set(range(graph.number_of_nodes()))
+        if set(graph.nodes) != expected:
+            raise ArchitectureError(
+                "topology sites must be numbered 0..N-1 contiguously"
+            )
+        if not nx.is_connected(graph):
+            raise ArchitectureError("topology must be connected")
+        self.name = name
+        self._graph = graph
+        self._coordinates = dict(coordinates) if coordinates else {
+            site: (0, site) for site in graph.nodes
+        }
+        # Per-source BFS results, filled lazily (avoids an O(N^2) table for
+        # the multi-thousand-site machines of Figures 9 and 10).
+        self._distance_cache: Dict[int, Dict[int, int]] = {}
+        self._grid_like = False  # set by the grid()/line() constructors
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def line(cls, num_sites: int) -> "Topology":
+        """A 1-D chain of ``num_sites`` qubits."""
+        if num_sites < 1:
+            raise ArchitectureError("num_sites must be positive")
+        graph = nx.path_graph(num_sites)
+        coords = {site: (0, site) for site in range(num_sites)}
+        topology = cls(graph, coords, name=f"line-{num_sites}")
+        topology._grid_like = True
+        return topology
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "Topology":
+        """A 2-D lattice with nearest-neighbour connectivity."""
+        if rows < 1 or cols < 1:
+            raise ArchitectureError("grid dimensions must be positive")
+        graph = nx.Graph()
+        coords: Dict[int, Coordinate] = {}
+        for row in range(rows):
+            for col in range(cols):
+                site = row * cols + col
+                graph.add_node(site)
+                coords[site] = (row, col)
+                if col > 0:
+                    graph.add_edge(site, site - 1)
+                if row > 0:
+                    graph.add_edge(site, site - cols)
+        topology = cls(graph, coords, name=f"grid-{rows}x{cols}")
+        topology._grid_like = True
+        return topology
+
+    @classmethod
+    def square_grid_for(cls, num_qubits: int) -> "Topology":
+        """Smallest near-square lattice with at least ``num_qubits`` sites."""
+        if num_qubits < 1:
+            raise ArchitectureError("num_qubits must be positive")
+        side = math.isqrt(num_qubits)
+        if side * side < num_qubits:
+            side += 1
+        rows = side
+        cols = side
+        while (rows - 1) * cols >= num_qubits:
+            rows -= 1
+        return cls.grid(rows, cols)
+
+    @classmethod
+    def fully_connected(cls, num_sites: int) -> "Topology":
+        """All-to-all connectivity (no routing cost)."""
+        if num_sites < 1:
+            raise ArchitectureError("num_sites must be positive")
+        graph = nx.complete_graph(num_sites)
+        side = max(1, math.isqrt(num_sites))
+        coords = {site: divmod(site, side) for site in range(num_sites)}
+        return cls(graph, coords, name=f"full-{num_sites}")
+
+    @classmethod
+    def from_edges(cls, num_sites: int, edges: Iterable[Tuple[int, int]],
+                   name: str = "custom") -> "Topology":
+        """Build a topology from an explicit edge list."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_sites))
+        graph.add_edges_from(edges)
+        return cls(graph, name=name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_sites(self) -> int:
+        """Number of physical sites."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def graph(self) -> "nx.Graph":
+        """The underlying connectivity graph."""
+        return self._graph
+
+    @property
+    def is_fully_connected(self) -> bool:
+        """True when every pair of sites is directly coupled."""
+        n = self.num_sites
+        return self._graph.number_of_edges() == n * (n - 1) // 2
+
+    def coordinate(self, site: int) -> Coordinate:
+        """(row, column) coordinate of ``site``."""
+        self._check_site(site)
+        return self._coordinates[site]
+
+    def neighbors(self, site: int) -> Tuple[int, ...]:
+        """Sites directly coupled to ``site``."""
+        self._check_site(site)
+        return tuple(sorted(self._graph.neighbors(site)))
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are directly coupled (or identical)."""
+        if a == b:
+            return True
+        return self._graph.has_edge(a, b)
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between two sites (0 for the same site)."""
+        self._check_site(a)
+        self._check_site(b)
+        if a == b:
+            return 0
+        if self._graph.has_edge(a, b):
+            return 1
+        if self._grid_like:
+            return self.manhattan_distance(a, b)
+        return self._distance_from(a)[b]
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest site path from ``a`` to ``b`` inclusive."""
+        self._check_site(a)
+        self._check_site(b)
+        return nx.shortest_path(self._graph, a, b)
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """Coordinate (Manhattan) distance between two sites."""
+        ra, ca = self.coordinate(a)
+        rb, cb = self.coordinate(b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def centroid_site(self, sites: Sequence[int]) -> int:
+        """Site closest to the coordinate centroid of ``sites``.
+
+        Returns site 0 when ``sites`` is empty.
+        """
+        if not sites:
+            return 0
+        rows = [self.coordinate(s)[0] for s in sites]
+        cols = [self.coordinate(s)[1] for s in sites]
+        target = (sum(rows) / len(rows), sum(cols) / len(cols))
+        by_coordinate = self._coordinate_index()
+        rounded = (int(round(target[0])), int(round(target[1])))
+        if rounded in by_coordinate:
+            return by_coordinate[rounded]
+        best_site = sites[0]
+        best_cost = float("inf")
+        for site, (row, col) in self._coordinates.items():
+            cost = abs(row - target[0]) + abs(col - target[1])
+            if cost < best_cost:
+                best_cost = cost
+                best_site = site
+        return best_site
+
+    def _coordinate_index(self) -> Dict[Coordinate, int]:
+        index = getattr(self, "_coordinate_index_cache", None)
+        if index is None:
+            index = {coord: site for site, coord in self._coordinates.items()}
+            self._coordinate_index_cache = index
+        return index
+
+    # ------------------------------------------------------------------
+    def _distance_from(self, source: int) -> Dict[int, int]:
+        cached = self._distance_cache.get(source)
+        if cached is None:
+            cached = nx.single_source_shortest_path_length(self._graph, source)
+            self._distance_cache[source] = cached
+        return cached
+
+    def _check_site(self, site: int) -> None:
+        if not 0 <= site < self.num_sites:
+            raise ArchitectureError(
+                f"site {site} out of range for {self.name} "
+                f"({self.num_sites} sites)"
+            )
+
+    def __repr__(self) -> str:
+        return f"Topology({self.name!r}, sites={self.num_sites})"

@@ -1,0 +1,60 @@
+"""SQUARE core: ancilla heap, allocation/reclamation heuristics, compiler."""
+
+from repro.core.allocation import (
+    AllocationPolicy,
+    AllocationRequest,
+    LifoAllocation,
+    LocalityAwareAllocation,
+)
+from repro.core.compiler import (
+    POLICY_PRESETS,
+    CallRecord,
+    CompilerConfig,
+    SquareCompiler,
+    compile_program,
+    preset,
+)
+from repro.core.cost_model import (
+    CommunicationEstimator,
+    ReclamationCosts,
+    reclamation_costs,
+    reservation_cost,
+    uncompute_cost,
+)
+from repro.core.heap import AncillaHeap
+from repro.core.reclamation import (
+    CostEffectiveReclamation,
+    EagerReclamation,
+    LazyReclamation,
+    ReclamationDecision,
+    ReclamationPolicy,
+    ReclamationRequest,
+)
+from repro.core.result import CompilationResult, ReclamationEvent
+
+__all__ = [
+    "AllocationPolicy",
+    "AllocationRequest",
+    "AncillaHeap",
+    "CallRecord",
+    "CommunicationEstimator",
+    "CompilationResult",
+    "CompilerConfig",
+    "CostEffectiveReclamation",
+    "EagerReclamation",
+    "LazyReclamation",
+    "LifoAllocation",
+    "LocalityAwareAllocation",
+    "POLICY_PRESETS",
+    "ReclamationCosts",
+    "ReclamationDecision",
+    "ReclamationEvent",
+    "ReclamationPolicy",
+    "ReclamationRequest",
+    "SquareCompiler",
+    "compile_program",
+    "preset",
+    "reclamation_costs",
+    "reservation_cost",
+    "uncompute_cost",
+]

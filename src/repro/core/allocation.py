@@ -1,0 +1,206 @@
+"""Qubit allocation policies.
+
+When a module executes ``Allocate(anc, n)`` the compiler must choose *which*
+machine qubits to hand out: reclaimed qubits from the ancilla heap or brand
+new qubits on previously unused sites.  The baseline policy pops the heap
+LIFO (the "global pool" model of prior work); the paper's Locality-Aware
+Allocation (LAA, Algorithm 1) scores both options by communication
+distance, serialization and area expansion and picks the cheapest.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ResourceExhaustedError
+from repro.core.heap import AncillaHeap
+from repro.scheduler.asap import GateScheduler
+
+
+@dataclass
+class AllocationRequest:
+    """Everything an allocation policy may consult when choosing qubits.
+
+    Attributes:
+        count: Number of ancilla qubits requested.
+        interacting_qubits: Virtual qubits the new ancillas will interact
+            with (the result of looking ahead into the Compute block, i.e.
+            ``get_interact_qubits()`` in Algorithm 1).
+        heap: The ancilla heap of reclaimed qubits.
+        scheduler: The gate scheduler (provides the layout, per-qubit
+            clocks and the current frontier time).
+        live_qubits: All currently live virtual qubits (for area estimates).
+        create_qubit: Callback that creates a brand new virtual qubit on a
+            given physical site and returns its id.
+        module_name: Name of the allocating module (for diagnostics).
+    """
+
+    count: int
+    interacting_qubits: Tuple[int, ...]
+    heap: AncillaHeap
+    scheduler: GateScheduler
+    live_qubits: Tuple[int, ...]
+    create_qubit: Callable[[int], int]
+    module_name: str = ""
+
+
+class AllocationPolicy(abc.ABC):
+    """Strategy for satisfying one ``Allocate`` request."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def allocate(self, request: AllocationRequest) -> List[int]:
+        """Return ``request.count`` virtual qubit ids, allocating as needed."""
+
+    def _new_qubit_on_free_site(self, request: AllocationRequest,
+                                anchors: Sequence[int]) -> int:
+        """Create a fresh qubit on the free site nearest to ``anchors``."""
+        layout = request.scheduler.layout
+        site = layout.nearest_free_site(anchors)
+        return request.create_qubit(site)
+
+
+class LifoAllocation(AllocationPolicy):
+    """Baseline allocation: pop the heap LIFO, else take the next free site.
+
+    This is the "ancilla heap as a global pool" model that Eager and Lazy
+    use in the paper's evaluation: it ignores qubit locality entirely.
+    """
+
+    name = "lifo"
+
+    def allocate(self, request: AllocationRequest) -> List[int]:
+        """Pop reclaimed qubits first; otherwise claim row-major free sites."""
+        allocated: List[int] = []
+        layout = request.scheduler.layout
+        for _ in range(request.count):
+            if not request.heap.is_empty():
+                allocated.append(request.heap.pop())
+                continue
+            free = layout.free_sites()
+            if not free:
+                raise ResourceExhaustedError(
+                    f"module {request.module_name!r}: machine is out of qubits "
+                    f"(requested {request.count})"
+                )
+            allocated.append(request.create_qubit(free[0]))
+        return allocated
+
+
+class LocalityAwareAllocation(AllocationPolicy):
+    """Locality-Aware Allocation (Algorithm 1).
+
+    For each requested qubit the policy scores the best candidate from the
+    heap and the best brand-new candidate, then picks the lower score.  The
+    score combines three considerations discussed in Section III-A1:
+
+    * communication — average hop distance to the qubits the ancilla will
+      interact with;
+    * serialization — reusing a qubit that is still busy in the schedule
+      adds a false dependency and delays the computation;
+    * area expansion — claiming a brand new qubit grows the active region,
+      which lengthens future swap chains / braids.
+
+    Args:
+        serialization_weight: Weight applied to the (normalised) extra wait
+            time a reused qubit would impose.
+        area_weight: Weight applied to the distance of a new site from the
+            centroid of the live region.
+    """
+
+    name = "laa"
+
+    def __init__(self, serialization_weight: float = 0.5,
+                 area_weight: float = 0.5) -> None:
+        self.serialization_weight = serialization_weight
+        self.area_weight = area_weight
+
+    # ------------------------------------------------------------------
+    def allocate(self, request: AllocationRequest) -> List[int]:
+        """Pick ``count`` qubits minimising the LAA score."""
+        allocated: List[int] = []
+        anchors = self._anchor_sites(request)
+        for _ in range(request.count):
+            heap_choice = self._best_heap_candidate(request, anchors)
+            new_choice = self._best_new_candidate(request, anchors)
+            if heap_choice is None and new_choice is None:
+                raise ResourceExhaustedError(
+                    f"module {request.module_name!r}: machine is out of qubits "
+                    f"(requested {request.count})"
+                )
+            if new_choice is None or (
+                heap_choice is not None and heap_choice[1] <= new_choice[1]
+            ):
+                qubit, _score = heap_choice
+                request.heap.remove(qubit)
+            else:
+                site, _score = new_choice
+                qubit = request.create_qubit(site)
+            allocated.append(qubit)
+            anchors = anchors + (request.scheduler.layout.site_of(qubit),)
+        return allocated
+
+    # ------------------------------------------------------------------
+    def _anchor_sites(self, request: AllocationRequest) -> Tuple[int, ...]:
+        layout = request.scheduler.layout
+        sites = [
+            layout.site_of(q)
+            for q in request.interacting_qubits
+            if layout.is_placed(q)
+        ]
+        return tuple(sites)
+
+    def _communication_score(self, request: AllocationRequest, site: int,
+                             anchors: Sequence[int]) -> float:
+        if not anchors:
+            return 0.0
+        topology = request.scheduler.layout.topology
+        return sum(topology.distance(site, anchor) for anchor in anchors) / len(anchors)
+
+    def _best_heap_candidate(
+        self, request: AllocationRequest, anchors: Sequence[int]
+    ) -> Optional[Tuple[int, float]]:
+        if request.heap.is_empty():
+            return None
+        scheduler = request.scheduler
+        layout = scheduler.layout
+        frontier = scheduler.frontier_time(request.interacting_qubits)
+        swap_duration = max(scheduler.machine.swap_duration, 1)
+        best: Optional[Tuple[int, float]] = None
+        for qubit in request.heap:
+            site = layout.site_of(qubit)
+            comm = self._communication_score(request, site, anchors)
+            wait = max(scheduler.qubit_time(qubit) - frontier, 0)
+            serialization = self.serialization_weight * wait / swap_duration
+            score = comm + serialization
+            if best is None or score < best[1]:
+                best = (qubit, score)
+        return best
+
+    def _best_new_candidate(
+        self, request: AllocationRequest, anchors: Sequence[int],
+        max_candidates: int = 32,
+    ) -> Optional[Tuple[int, float]]:
+        layout = request.scheduler.layout
+        topology = layout.topology
+        live_sites = [
+            layout.site_of(q) for q in request.live_qubits if layout.is_placed(q)
+        ]
+        search_anchors = tuple(anchors) if anchors else tuple(live_sites)
+        free = layout.nearest_free_sites(search_anchors, limit=max_candidates)
+        if not free:
+            return None
+        centroid = topology.centroid_site(live_sites) if live_sites else None
+        best: Optional[Tuple[int, float]] = None
+        for site in free:
+            comm = self._communication_score(request, site, anchors)
+            expansion = 0.0
+            if centroid is not None:
+                expansion = self.area_weight * topology.distance(site, centroid)
+            score = comm + expansion
+            if best is None or score < best[1]:
+                best = (site, score)
+        return best

@@ -1,0 +1,580 @@
+"""The SQUARE compiler: instrumentation-driven allocation and reclamation.
+
+The compiler walks a modular program in program order, exactly as the
+paper's instrumentation-driven flow does (Section IV-B): every gate is
+routed and scheduled immediately, every ``Allocate`` invokes the allocation
+policy against the live machine state, and every ``Free`` invokes the
+reclamation policy, which either executes the Uncompute block (returning
+the ancillas to the heap) or skips it (transferring the garbage to the
+caller — "qubit reservation").
+
+The walk keeps a :class:`CallRecord` per call instance so that when an
+ancestor later uncomputes, the inverse of each child call replays exactly
+what that child actually did:
+
+* a child that reclaimed is replayed as ``C ; S^-1 ; C^-1`` on freshly
+  allocated ancillas (recursive recomputation, the 2**level blow-up);
+* a child that deferred still holds its ancillas, so its inverse is
+  ``S^-1 ; C^-1`` on those same qubits, after which they are finally freed.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CompilationError, ResourceExhaustedError
+from repro.arch.machine import Machine
+from repro.core.allocation import (
+    AllocationPolicy,
+    AllocationRequest,
+    LifoAllocation,
+    LocalityAwareAllocation,
+)
+from repro.core.cost_model import CommunicationEstimator
+from repro.core.heap import AncillaHeap
+from repro.core.reclamation import (
+    CostEffectiveReclamation,
+    EagerReclamation,
+    LazyReclamation,
+    ReclamationPolicy,
+    ReclamationRequest,
+)
+from repro.core.result import CompilationResult, ReclamationEvent
+from repro.ir.decompose import decompose_toffoli
+from repro.ir.gates import inverse_gate_name
+from repro.ir.program import CallStmt, GateStmt, Program, QModule, Qubit, Statement
+from repro.scheduler.asap import GateScheduler
+from repro.scheduler.tracker import LivenessTracker
+
+_ALLOCATION_POLICIES = {
+    "lifo": LifoAllocation,
+    "laa": LocalityAwareAllocation,
+}
+
+_RECLAMATION_POLICIES = {
+    "eager": EagerReclamation,
+    "lazy": LazyReclamation,
+    "cer": CostEffectiveReclamation,
+}
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Configuration of one compilation run.
+
+    Attributes:
+        allocation: Allocation policy name (``"lifo"`` or ``"laa"``).
+        reclamation: Reclamation policy name (``"eager"``, ``"lazy"`` or
+            ``"cer"``).
+        decompose_toffoli: Decompose Toffoli gates into Clifford+T before
+            scheduling (used for the small NISQ benchmarks; large workloads
+            keep Toffolis whole for compilation speed).
+        record_schedule: Keep every scheduled gate so the result can be
+            replayed through the noise simulator.
+        max_qubits: Optional cap on machine qubits (defaults to the full
+            machine size).
+        label: Optional human-readable policy label for reports.
+    """
+
+    allocation: str = "laa"
+    reclamation: str = "cer"
+    decompose_toffoli: bool = False
+    record_schedule: bool = False
+    max_qubits: Optional[int] = None
+    label: str = ""
+
+    @property
+    def policy_name(self) -> str:
+        """Label used in result tables."""
+        return self.label or f"{self.allocation}+{self.reclamation}"
+
+
+#: Compiler configurations matching Table I plus the LAA-only ablation of
+#: Figures 8a, 9 and 10.
+POLICY_PRESETS: Dict[str, CompilerConfig] = {
+    "eager": CompilerConfig(allocation="lifo", reclamation="eager", label="eager"),
+    "lazy": CompilerConfig(allocation="lifo", reclamation="lazy", label="lazy"),
+    "square-laa": CompilerConfig(allocation="laa", reclamation="eager",
+                                 label="square-laa"),
+    "square": CompilerConfig(allocation="laa", reclamation="cer", label="square"),
+}
+
+
+def preset(name: str, **overrides) -> CompilerConfig:
+    """Return a named policy preset, optionally overriding fields."""
+    try:
+        config = POLICY_PRESETS[name]
+    except KeyError:
+        raise CompilationError(
+            f"unknown policy preset {name!r}; choose from {sorted(POLICY_PRESETS)}"
+        ) from None
+    if not overrides:
+        return config
+    values = {**config.__dict__, **overrides}
+    return CompilerConfig(**values)
+
+
+@dataclass
+class CallRecord:
+    """What one call instance actually executed (needed for inversion)."""
+
+    module: QModule
+    level: int
+    binding: Dict[Qubit, int]
+    ancilla_virtuals: List[int]
+    compute_records: List["CallRecord"] = field(default_factory=list)
+    store_records: List["CallRecord"] = field(default_factory=list)
+    reclaimed: Optional[bool] = None
+    cleaned: bool = False
+
+    def garbage_qubits(self) -> List[int]:
+        """Ancilla qubits still holding garbage under this record."""
+        if self.cleaned or self.reclaimed:
+            return []
+        garbage = list(self.ancilla_virtuals)
+        for child in self.compute_records + self.store_records:
+            garbage.extend(child.garbage_qubits())
+        return garbage
+
+
+@dataclass
+class _Frame:
+    """Live state of a module call while it executes."""
+
+    module: QModule
+    level: int
+    binding: Dict[Qubit, int]
+    ancilla_virtuals: List[int]
+    parent: Optional["_Frame"]
+    record: CallRecord
+    in_compute: bool = True
+    compute_gates_emitted: int = 0
+    local_comm_cost: float = 0.0
+    local_two_qubit_gates: int = 0
+    statement_index: int = 0
+    current_block: str = "compute"
+
+
+class SquareCompiler:
+    """Compiles a modular program onto a machine under a reuse policy.
+
+    Args:
+        machine: Target machine model (NISQ, FT or ideal).
+        config: Compiler configuration; defaults to the full SQUARE preset.
+        allocation_policy: Optional explicit allocation policy instance
+            (overrides ``config.allocation``).
+        reclamation_policy: Optional explicit reclamation policy instance
+            (overrides ``config.reclamation``).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: Optional[CompilerConfig] = None,
+        allocation_policy: Optional[AllocationPolicy] = None,
+        reclamation_policy: Optional[ReclamationPolicy] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config or POLICY_PRESETS["square"]
+        if allocation_policy is None:
+            try:
+                allocation_policy = _ALLOCATION_POLICIES[self.config.allocation]()
+            except KeyError:
+                raise CompilationError(
+                    f"unknown allocation policy {self.config.allocation!r}"
+                ) from None
+        if reclamation_policy is None:
+            try:
+                reclamation_policy = _RECLAMATION_POLICIES[self.config.reclamation]()
+            except KeyError:
+                raise CompilationError(
+                    f"unknown reclamation policy {self.config.reclamation!r}"
+                ) from None
+        self.allocation_policy = allocation_policy
+        self.reclamation_policy = reclamation_policy
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compile(self, program: Program) -> CompilationResult:
+        """Compile ``program`` and return the scheduled-resource summary."""
+        started = _time.perf_counter()
+        program.validate()
+        self.machine.reset_communication_state()
+        self._tracker = LivenessTracker()
+        self._scheduler = GateScheduler(
+            self.machine, self._tracker,
+            record_schedule=self.config.record_schedule,
+        )
+        self._heap = AncillaHeap()
+        self._comm = CommunicationEstimator()
+        self._next_virtual = 0
+        self._qubit_budget = self.config.max_qubits or self.machine.num_qubits
+        self._reclamation_log: List[ReclamationEvent] = []
+        self._uncompute_gates = 0
+        self._static_cache: Dict[int, int] = {}
+
+        entry = program.entry
+        param_virtuals = self._place_entry_params(entry)
+        binding = dict(zip(entry.params, param_virtuals))
+        self._exec_call_with_binding(entry, binding, level=0, parent=None)
+        self._tracker.finalize(self._scheduler.makespan)
+
+        final_sites = tuple(
+            (virtual, self._scheduler.layout.site_of(virtual))
+            for virtual in range(self._next_virtual)
+            if self._scheduler.layout.is_placed(virtual)
+        )
+        elapsed = _time.perf_counter() - started
+        return CompilationResult(
+            program_name=program.name,
+            machine_name=self.machine.name,
+            policy_name=self.config.policy_name,
+            num_qubits_used=self._next_virtual,
+            peak_live_qubits=self._tracker.peak_live,
+            gate_count=self._scheduler.gate_count,
+            swap_count=self._scheduler.swap_count,
+            circuit_depth=self._scheduler.makespan,
+            active_quantum_volume=self._tracker.active_quantum_volume(),
+            total_comm_cost=self._scheduler.comm_cost_total,
+            uncompute_gate_count=self._uncompute_gates,
+            reclamation_events=tuple(self._reclamation_log),
+            usage_segments=self._tracker.segments,
+            scheduled_gates=tuple(self._scheduler.events),
+            final_sites=final_sites,
+            num_entry_params=len(entry.params),
+            compile_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _place_entry_params(self, entry: QModule) -> List[int]:
+        """Create the entry module's parameter qubits near the machine centre."""
+        topology = self.machine.topology
+        center = topology.num_sites // 2
+        virtuals: List[int] = []
+        anchor_sites = [center]
+        for _ in entry.params:
+            site = self._scheduler.layout.nearest_free_site(anchor_sites)
+            virtual = self._create_qubit(site)
+            self._tracker.allocate(virtual, 0)
+            virtuals.append(virtual)
+            anchor_sites.append(site)
+        return virtuals
+
+    def _create_qubit(self, site: int) -> int:
+        if self._next_virtual >= self._qubit_budget:
+            raise ResourceExhaustedError(
+                f"qubit budget of {self._qubit_budget} exhausted"
+            )
+        virtual = self._next_virtual
+        self._next_virtual += 1
+        self._scheduler.register_qubit(virtual, site)
+        return virtual
+
+    # ------------------------------------------------------------------
+    # Program walk
+    # ------------------------------------------------------------------
+    def _exec_call(self, stmt: CallStmt, parent: _Frame) -> CallRecord:
+        args = tuple(parent.binding[arg] for arg in stmt.args)
+        binding = dict(zip(stmt.module.params, args))
+        return self._exec_call_with_binding(
+            stmt.module, binding, level=parent.level + 1, parent=parent
+        )
+
+    def _exec_call_with_binding(
+        self,
+        module: QModule,
+        binding: Dict[Qubit, int],
+        level: int,
+        parent: Optional[_Frame],
+    ) -> CallRecord:
+        record = CallRecord(module=module, level=level, binding=dict(binding),
+                            ancilla_virtuals=[])
+        frame = _Frame(module=module, level=level, binding=binding,
+                       ancilla_virtuals=[], parent=parent, record=record)
+
+        if module.num_ancilla:
+            ancillas = self._allocate_ancillas(module, frame)
+            frame.ancilla_virtuals = ancillas
+            record.ancilla_virtuals = list(ancillas)
+            frame.binding.update(zip(module.ancillas, ancillas))
+            record.binding.update(zip(module.ancillas, ancillas))
+
+        frame.current_block = "compute"
+        frame.in_compute = True
+        self._exec_block(module.compute, frame, record.compute_records)
+        frame.current_block = "store"
+        frame.in_compute = False
+        self._exec_block(module.store, frame, record.store_records)
+
+        self._process_free(module, frame, record, parent)
+        return record
+
+    def _exec_block(self, statements: Sequence[Statement], frame: _Frame,
+                    records: List[CallRecord]) -> None:
+        for index, stmt in enumerate(statements):
+            frame.statement_index = index
+            if isinstance(stmt, GateStmt):
+                qubits = tuple(frame.binding[q] for q in stmt.qubits)
+                self._emit_gate(frame, stmt.name, qubits)
+            elif isinstance(stmt, CallStmt):
+                records.append(self._exec_call(stmt, frame))
+            else:  # pragma: no cover - defensive
+                raise CompilationError(f"unknown statement {stmt!r}")
+
+    def _exec_block_inverse(self, statements: Sequence[Statement], frame: _Frame,
+                            records: Sequence[CallRecord]) -> None:
+        record_index = len(records)
+        for stmt in reversed(statements):
+            if isinstance(stmt, GateStmt):
+                qubits = tuple(frame.binding[q] for q in stmt.qubits)
+                self._emit_gate(frame, inverse_gate_name(stmt.name), qubits)
+            elif isinstance(stmt, CallStmt):
+                record_index -= 1
+                self._exec_call_inverse(records[record_index], frame)
+            else:  # pragma: no cover - defensive
+                raise CompilationError(f"unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    # Gate emission
+    # ------------------------------------------------------------------
+    def _emit_gate(self, frame: _Frame, name: str, qubits: Tuple[int, ...]) -> None:
+        if self.config.decompose_toffoli and name == "ccx":
+            for gate in decompose_toffoli(*qubits):
+                self._emit_single(frame, gate.name, gate.qubits)
+            return
+        self._emit_single(frame, name, qubits)
+
+    def _emit_single(self, frame: _Frame, name: str, qubits: Tuple[int, ...]) -> None:
+        execution = self._scheduler.schedule_gate(name, qubits)
+        if len(qubits) >= 2:
+            self._comm.observe(execution.comm_cost)
+            frame.local_comm_cost += execution.comm_cost
+            frame.local_two_qubit_gates += 1
+        ancestor: Optional[_Frame] = frame
+        while ancestor is not None:
+            if ancestor.current_block == "compute":
+                ancestor.compute_gates_emitted += 1
+            ancestor = ancestor.parent
+
+    # ------------------------------------------------------------------
+    # Allocation and reclamation
+    # ------------------------------------------------------------------
+    def _allocate_ancillas(self, module: QModule, frame: _Frame) -> List[int]:
+        per_ancilla, fallback = self._interaction_anchors(module, frame)
+        now = self._scheduler.current_time()
+        allocated: List[int] = []
+        for ancilla in module.ancillas:
+            anchors = per_ancilla.get(ancilla) or fallback
+            request = AllocationRequest(
+                count=1,
+                interacting_qubits=tuple(anchors),
+                heap=self._heap,
+                scheduler=self._scheduler,
+                live_qubits=self._tracker.live_qubits(),
+                create_qubit=self._create_qubit,
+                module_name=module.name,
+            )
+            virtual = self.allocation_policy.allocate(request)[0]
+            self._tracker.allocate(virtual, now)
+            allocated.append(virtual)
+        return allocated
+
+    def _interaction_anchors(
+        self, module: QModule, frame: _Frame
+    ) -> Tuple[Dict[Qubit, List[int]], List[int]]:
+        """Look-ahead interaction sets (``get_interact_qubits`` in Algorithm 1).
+
+        Returns a per-ancilla map of the caller-visible qubits that ancilla
+        directly shares a gate or call with, plus a fallback anchor list
+        (all bound parameters) for ancillas with no direct interaction in
+        this module's own statements.
+        """
+        ancilla_set = set(module.ancillas)
+        per_ancilla: Dict[Qubit, List[int]] = {}
+        for block in (module.compute, module.store):
+            for stmt in block:
+                operands = stmt.qubits if isinstance(stmt, GateStmt) else stmt.args
+                involved = [q for q in operands if q in ancilla_set]
+                if not involved:
+                    continue
+                partners = [
+                    frame.binding[q] for q in operands
+                    if q not in ancilla_set and q in frame.binding
+                ]
+                for ancilla in involved:
+                    bucket = per_ancilla.setdefault(ancilla, [])
+                    for virtual in partners:
+                        if virtual not in bucket:
+                            bucket.append(virtual)
+        fallback = [frame.binding[q] for q in module.params if q in frame.binding]
+        return per_ancilla, fallback
+
+    def _process_free(self, module: QModule, frame: _Frame, record: CallRecord,
+                      parent: Optional[_Frame]) -> None:
+        if parent is None:
+            # Top level: the program ends here, so there is nothing to gain
+            # from uncomputing — the remaining garbage is simply measured
+            # away / reset when the machine is released.  This matches the
+            # Table I semantics in which Lazy's only reclamation point is
+            # the end of the program (and explains why Lazy's gate count is
+            # roughly the forward-only count in Table III).
+            record.reclaimed = False
+            return
+        held_garbage = record.garbage_qubits()
+        num_ancilla = len(held_garbage)
+        if num_ancilla == 0:
+            # Nothing to reclaim: the call has no scratch state to clean.
+            record.reclaimed = None
+            return
+
+        comm_factor = self._comm.estimate(frame.local_comm_cost,
+                                          frame.local_two_qubit_gates)
+        request = ReclamationRequest(
+            module_name=module.name,
+            level=frame.level,
+            num_active=self._tracker.num_live,
+            num_ancilla=num_ancilla,
+            uncompute_gates=frame.compute_gates_emitted,
+            gates_to_parent_uncompute=self._gates_to_parent_uncompute(parent),
+            comm_factor=comm_factor,
+            locality_constrained=self.machine.communication != "none"
+            and not self.machine.topology.is_fully_connected,
+            is_top_level=parent is None,
+        )
+        decision = self.reclamation_policy.decide(request)
+        self._reclamation_log.append(ReclamationEvent(
+            module=module.name,
+            level=frame.level,
+            reclaimed=decision.reclaim,
+            num_ancilla=num_ancilla,
+            costs=decision.costs,
+        ))
+
+        if decision.reclaim:
+            self._emit_uncompute(frame, record)
+            self._reclaim_record(record)
+        else:
+            record.reclaimed = False
+            # Garbage is transferred to the caller simply by keeping the
+            # record referenced from the parent's record list; the ancestor
+            # that eventually uncomputes will clean and free it.
+
+    def _emit_uncompute(self, frame: _Frame, record: CallRecord) -> None:
+        """Execute the Uncompute block (inverse of Compute) for this frame."""
+        module = frame.module
+        frame.current_block = "uncompute"
+        gates_before = self._scheduler.gate_count
+        use_explicit = (
+            module.has_explicit_uncompute
+            and not any(isinstance(s, CallStmt) for s in module.compute)
+            and not record.compute_records
+        )
+        if use_explicit:
+            self._exec_block(module.uncompute, frame, [])
+        else:
+            self._exec_block_inverse(module.compute, frame, record.compute_records)
+        self._uncompute_gates += self._scheduler.gate_count - gates_before
+        record.reclaimed = True
+
+    def _reclaim_record(self, record: CallRecord) -> None:
+        """Free this record's own ancillas (children free theirs when inverted)."""
+        for virtual in record.ancilla_virtuals:
+            self._tracker.reclaim(virtual, self._scheduler.qubit_time(virtual))
+            self._heap.push(virtual)
+        record.reclaimed = True
+
+    # ------------------------------------------------------------------
+    # Inverse execution (uncomputation of calls)
+    # ------------------------------------------------------------------
+    def _exec_call_inverse(self, record: CallRecord, parent: _Frame) -> None:
+        module = record.module
+        if record.reclaimed:
+            self._replay_reclaimed_inverse(record, parent)
+            return
+        # Deferred (or ancilla-free) call: its state is still on the machine,
+        # so its inverse is Store^-1 ; Compute^-1 on the original qubits.
+        frame = _Frame(module=module, level=record.level, binding=dict(record.binding),
+                       ancilla_virtuals=list(record.ancilla_virtuals), parent=parent,
+                       record=record, current_block=parent.current_block)
+        self._exec_block_inverse(module.store, frame, record.store_records)
+        self._exec_block_inverse(module.compute, frame, record.compute_records)
+        for virtual in record.ancilla_virtuals:
+            self._tracker.reclaim(virtual, self._scheduler.qubit_time(virtual))
+            self._heap.push(virtual)
+        record.cleaned = True
+
+    def _replay_reclaimed_inverse(self, record: CallRecord, parent: _Frame) -> None:
+        """Invert a call that had reclaimed: C ; S^-1 ; C^-1 on fresh ancillas."""
+        module = record.module
+        binding = {param: record.binding[param] for param in module.params}
+        frame = _Frame(module=module, level=record.level, binding=binding,
+                       ancilla_virtuals=[], parent=parent,
+                       record=CallRecord(module=module, level=record.level,
+                                         binding=dict(binding), ancilla_virtuals=[]),
+                       current_block=parent.current_block)
+        if module.num_ancilla:
+            ancillas = self._allocate_ancillas(module, frame)
+            frame.ancilla_virtuals = ancillas
+            frame.binding.update(zip(module.ancillas, ancillas))
+        replay_records: List[CallRecord] = []
+        self._exec_block(module.compute, frame, replay_records)
+        self._exec_block_inverse(module.store, frame, record.store_records)
+        self._exec_block_inverse(module.compute, frame, replay_records)
+        for virtual in frame.ancilla_virtuals:
+            self._tracker.reclaim(virtual, self._scheduler.qubit_time(virtual))
+            self._heap.push(virtual)
+
+    # ------------------------------------------------------------------
+    # Cost-model inputs
+    # ------------------------------------------------------------------
+    def _gates_to_parent_uncompute(self, parent: Optional[_Frame]) -> int:
+        """Estimate gates between this point and the parent's uncompute."""
+        if parent is None:
+            return 0
+        remaining = self._remaining_static_gates(parent)
+        if parent.level == 0:
+            # The entry module never uncomputes; garbage deferred to it is
+            # only held until the end of the program.
+            return remaining
+        uncompute_estimate = parent.compute_gates_emitted + self._remaining_block_static(
+            parent.module.compute, parent.statement_index + 1
+        ) if parent.current_block == "compute" else parent.compute_gates_emitted
+        return remaining + uncompute_estimate
+
+    def _remaining_static_gates(self, frame: _Frame) -> int:
+        """Static gates left in the frame's forward blocks after its cursor."""
+        module = frame.module
+        if frame.current_block == "compute":
+            return (
+                self._remaining_block_static(module.compute, frame.statement_index + 1)
+                + self._remaining_block_static(module.store, 0)
+            )
+        if frame.current_block == "store":
+            return self._remaining_block_static(module.store, frame.statement_index + 1)
+        return 0
+
+    def _remaining_block_static(self, statements: Sequence[Statement],
+                                start: int) -> int:
+        total = 0
+        for stmt in statements[start:]:
+            if isinstance(stmt, GateStmt):
+                total += 1
+            else:
+                total += stmt.module.static_gate_count(self._static_cache)
+        return total
+
+
+def compile_program(
+    program: Program,
+    machine: Machine,
+    policy: str = "square",
+    **config_overrides,
+) -> CompilationResult:
+    """One-call convenience API: compile ``program`` under a named policy."""
+    config = preset(policy, **config_overrides)
+    return SquareCompiler(machine, config).compile(program)

@@ -1,0 +1,83 @@
+"""The ancilla heap: the pool of reclaimed qubits available for reuse.
+
+Reclaimed ancilla qubits have been returned to |0> and stay on their
+physical site; future allocations may pop them instead of claiming brand
+new qubits (Section III-A).  The heap supports the simple LIFO discipline
+used by prior work as well as targeted removal, which the locality-aware
+allocation heuristic uses to pick the *closest* reclaimed qubit rather
+than the most recently pushed one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CompilationError
+
+
+class AncillaHeap:
+    """Pool of reclaimed (clean) virtual qubits."""
+
+    def __init__(self) -> None:
+        self._stack: List[int] = []
+        self._members: set[int] = set()
+        self.total_pushes = 0
+        self.total_pops = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __contains__(self, qubit: int) -> bool:
+        return qubit in self._members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._stack)
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        """Current heap contents, oldest first."""
+        return tuple(self._stack)
+
+    def is_empty(self) -> bool:
+        """True when no reclaimed qubits are available."""
+        return not self._stack
+
+    # ------------------------------------------------------------------
+    def push(self, qubit: int) -> None:
+        """Return a reclaimed qubit to the pool.
+
+        Raises:
+            CompilationError: If the qubit is already in the heap (a
+                double-free in the reclamation logic).
+        """
+        if qubit in self._members:
+            raise CompilationError(f"qubit {qubit} reclaimed twice")
+        self._stack.append(qubit)
+        self._members.add(qubit)
+        self.total_pushes += 1
+
+    def pop(self) -> int:
+        """Pop the most recently reclaimed qubit (LIFO).
+
+        Raises:
+            CompilationError: If the heap is empty.
+        """
+        if not self._stack:
+            raise CompilationError("ancilla heap is empty")
+        qubit = self._stack.pop()
+        self._members.discard(qubit)
+        self.total_pops += 1
+        return qubit
+
+    def remove(self, qubit: int) -> None:
+        """Take a specific qubit out of the pool (locality-aware allocation).
+
+        Raises:
+            CompilationError: If the qubit is not in the heap.
+        """
+        if qubit not in self._members:
+            raise CompilationError(f"qubit {qubit} is not in the ancilla heap")
+        self._stack.remove(qubit)
+        self._members.discard(qubit)
+        self.total_pops += 1

@@ -1,0 +1,171 @@
+"""Compilation results and summary metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import ReclamationCosts
+from repro.ir.circuit import Circuit
+from repro.ir.gates import make_gate
+from repro.scheduler.events import ScheduledGate
+from repro.scheduler.tracker import UsageSegment
+
+
+@dataclass(frozen=True)
+class ReclamationEvent:
+    """One reclamation decision made during compilation.
+
+    Attributes:
+        module: Module whose ``Free`` was processed.
+        level: Call-graph depth of the call.
+        reclaimed: Whether the Uncompute block was executed.
+        num_ancilla: Ancilla/garbage qubits covered by the decision.
+        costs: The C1/C0 costs when the CER model was consulted.
+    """
+
+    module: str
+    level: int
+    reclaimed: bool
+    num_ancilla: int
+    costs: Optional[ReclamationCosts] = None
+
+
+@dataclass
+class CompilationResult:
+    """Everything the SQUARE compiler reports for one program.
+
+    The headline metrics mirror Table III of the paper: gate count
+    (excluding router swaps), qubit footprint, circuit depth and swap
+    count, plus the Active Quantum Volume used throughout the evaluation.
+    """
+
+    program_name: str
+    machine_name: str
+    policy_name: str
+    num_qubits_used: int
+    peak_live_qubits: int
+    gate_count: int
+    swap_count: int
+    circuit_depth: int
+    active_quantum_volume: int
+    total_comm_cost: float
+    uncompute_gate_count: int
+    reclamation_events: Tuple[ReclamationEvent, ...] = ()
+    usage_segments: Tuple[UsageSegment, ...] = ()
+    scheduled_gates: Tuple[ScheduledGate, ...] = ()
+    final_sites: Tuple[Tuple[int, int], ...] = ()
+    num_entry_params: int = 0
+    compile_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_gate_count(self) -> int:
+        """Gates including router-inserted swaps."""
+        return self.gate_count + self.swap_count
+
+    def site_of(self, virtual: int) -> int:
+        """Final physical site of a virtual qubit (for physical readout)."""
+        for qubit, site in self.final_sites:
+            if qubit == virtual:
+                return site
+        raise KeyError(f"virtual qubit {virtual} has no recorded site")
+
+    def entry_param_sites(self) -> Tuple[int, ...]:
+        """Final sites of the entry module's parameters, in declaration order."""
+        return tuple(self.site_of(v) for v in range(self.num_entry_params))
+
+    @property
+    def num_reclamation_points(self) -> int:
+        """Number of ``Free`` decisions taken."""
+        return len(self.reclamation_events)
+
+    @property
+    def num_reclaimed(self) -> int:
+        """Number of decisions that executed the Uncompute block."""
+        return sum(1 for event in self.reclamation_events if event.reclaimed)
+
+    @property
+    def num_deferred(self) -> int:
+        """Number of decisions that deferred garbage to the caller."""
+        return sum(1 for event in self.reclamation_events if not event.reclaimed)
+
+    def usage_series(self) -> List[Tuple[int, int]]:
+        """Piecewise-constant (time, live qubits) curve (Figure 1)."""
+        events: List[Tuple[int, int]] = []
+        for segment in self.usage_segments:
+            if segment.duration <= 0:
+                continue
+            events.append((segment.start, 1))
+            events.append((segment.end, -1))
+        events.sort()
+        series: List[Tuple[int, int]] = [(0, 0)]
+        live = 0
+        for time, delta in events:
+            live += delta
+            if series and series[-1][0] == time:
+                series[-1] = (time, live)
+            else:
+                series.append((time, live))
+        return series
+
+    def to_circuit(self, physical: bool = False) -> Circuit:
+        """Rebuild the scheduled gate stream as a flat :class:`Circuit`.
+
+        Requires the compiler to have been run with ``record_schedule=True``.
+
+        Args:
+            physical: When False (default) the circuit is expressed on
+                *virtual* qubit wires — wire ``i`` is virtual qubit ``i``, so
+                the entry module's parameters occupy the first wires — and
+                router-inserted swaps are dropped (they only relabel sites,
+                they do not act on virtual values).  This view is the one to
+                use for functional-equivalence checks.  When True the circuit
+                is expressed on *physical site* wires with every router swap
+                included, which is what the noise simulator should run.
+        """
+        if not self.scheduled_gates:
+            raise ValueError(
+                "no recorded schedule; compile with record_schedule=True"
+            )
+        if physical:
+            num_wires = 1 + max(
+                (max(event.sites) for event in self.scheduled_gates if event.sites),
+                default=0,
+            )
+            circuit = Circuit(
+                num_wires, name=f"{self.program_name}-{self.policy_name}-physical"
+            )
+            for event in self.scheduled_gates:
+                if not event.sites:
+                    continue
+                circuit.append(make_gate(event.name, event.sites))
+            return circuit
+
+        circuit = Circuit(self.num_qubits_used,
+                          name=f"{self.program_name}-{self.policy_name}")
+        for event in self.scheduled_gates:
+            if event.routed:
+                continue
+            if not event.virtual_qubits:
+                continue
+            circuit.append(make_gate(event.name, event.virtual_qubits))
+        return circuit
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dictionary of the headline metrics (for report tables)."""
+        return {
+            "program": self.program_name,
+            "machine": self.machine_name,
+            "policy": self.policy_name,
+            "gates": self.gate_count,
+            "qubits": self.num_qubits_used,
+            "peak_live": self.peak_live_qubits,
+            "depth": self.circuit_depth,
+            "swaps": self.swap_count,
+            "aqv": self.active_quantum_volume,
+            "uncompute_gates": self.uncompute_gate_count,
+            "reclaim_points": self.num_reclamation_points,
+            "reclaimed": self.num_reclaimed,
+            "deferred": self.num_deferred,
+        }

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the SQUARE reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Raised for malformed circuits, modules, or programs."""
+
+
+class UnknownGateError(IRError):
+    """Raised when a gate name is not part of the supported gate set."""
+
+
+class NonClassicalGateError(IRError):
+    """Raised when a classical-only operation meets a non-classical gate.
+
+    Classical reversible simulation and automatic uncomputation only make
+    sense for circuits built from NOT / CNOT / Toffoli / SWAP gates (see
+    Section II-D of the paper).
+    """
+
+
+class IrreversibleBlockError(IRError):
+    """Raised when a block that must be invertible contains a measurement."""
+
+
+class QubitBindingError(IRError):
+    """Raised when a statement references a qubit that is not in scope."""
+
+
+class ValidationError(IRError):
+    """Raised when a module or program fails structural validation."""
+
+
+class ArchitectureError(ReproError):
+    """Raised for invalid machine topologies or placement requests."""
+
+
+class RoutingError(ArchitectureError):
+    """Raised when a route between two physical sites cannot be found."""
+
+
+class ResourceExhaustedError(ReproError):
+    """Raised when a program needs more qubits than the machine provides."""
+
+
+class CompilationError(ReproError):
+    """Raised when the SQUARE compiler cannot process a program."""
+
+
+class SimulationError(ReproError):
+    """Raised by the state-vector or classical simulators."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

@@ -1,0 +1,48 @@
+"""Experiment harness: one module per table / figure of the evaluation."""
+
+from repro.experiments import (
+    figure1,
+    figure5,
+    figure8,
+    figure9,
+    figure10,
+    table3,
+    table4,
+)
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentResult,
+    benchmark_overrides,
+    compile_on_machine,
+    compile_policy_suite,
+    compile_with_autosize,
+    ft_machine_factory,
+    load_scaled_benchmark,
+    nisq_machine_factory,
+)
+
+#: Registry of experiment runners keyed by the figure/table they regenerate.
+EXPERIMENTS = {
+    "figure1": (figure1.run, figure1.format_report),
+    "figure5": (figure5.run, figure5.format_report),
+    "table3": (table3.run, table3.format_report),
+    "figure8a": (figure8.run_aqv, figure8.format_report),
+    "figure8b": (figure8.run_success, figure8.format_report),
+    "figure8c": (figure8.run_noise, figure8.format_report),
+    "figure9": (figure9.run, figure9.format_report),
+    "figure10": (figure10.run, figure10.format_report),
+    "table4": (table4.run, table4.format_report),
+}
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "benchmark_overrides",
+    "compile_on_machine",
+    "compile_policy_suite",
+    "compile_with_autosize",
+    "ft_machine_factory",
+    "load_scaled_benchmark",
+    "nisq_machine_factory",
+]

@@ -1,0 +1,53 @@
+"""Command-line entry point: ``python -m repro.experiments <name> [...]``.
+
+Examples::
+
+    python -m repro.experiments table3
+    python -m repro.experiments figure9 --scale quick
+    python -m repro.experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def _run_one(name: str, scale: str, shots: int) -> str:
+    runner, formatter = EXPERIMENTS[name]
+    kwargs = {}
+    if name in ("figure1", "figure9", "figure10"):
+        kwargs["scale"] = scale
+    if name == "figure8c":
+        kwargs["shots"] = shots
+    started = time.perf_counter()
+    experiment = runner(**kwargs)
+    elapsed = time.perf_counter() - started
+    return formatter(experiment) + f"\n[{name} completed in {elapsed:.1f}s]\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the SQUARE paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", default="laptop",
+                        choices=["quick", "laptop", "paper"],
+                        help="benchmark size scale for the large benchmarks")
+    parser.add_argument("--shots", type=int, default=2048,
+                        help="shots for the noise-simulation experiment")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_one(name, args.scale, args.shots))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Figure 1: qubit usage over time for modular exponentiation.
+
+Reproduces the motivating figure: the Eager curve uses few qubits but
+stretches far in time (too many gates), the Lazy curve finishes quickly
+but piles up qubits (too many qubits), and the SQUARE curve sits between
+them with the smallest area under the curve — the smallest active quantum
+volume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.liveness import UsageCurve, ascii_plot, usage_curve
+from repro.experiments.runner import (
+    ExperimentResult,
+    compile_policy_suite,
+    load_scaled_benchmark,
+    nisq_machine_factory,
+)
+
+POLICIES: Sequence[str] = ("eager", "lazy", "square")
+
+
+def run(scale: str = "laptop", policies: Sequence[str] = POLICIES
+        ) -> ExperimentResult:
+    """Compile MODEXP under each policy and extract its usage curves."""
+    program = load_scaled_benchmark("MODEXP", scale)
+    results = compile_policy_suite(program, nisq_machine_factory(),
+                                   policies=policies, start_qubits=64)
+    curves: Dict[str, UsageCurve] = {
+        policy: usage_curve(result, label=policy)
+        for policy, result in results.items()
+    }
+    rows = []
+    for policy, result in results.items():
+        curve = curves[policy]
+        rows.append({
+            "policy": policy,
+            "peak qubits": curve.peak,
+            "total time": curve.end_time,
+            "area (AQV)": result.active_quantum_volume,
+            "gates": result.gate_count,
+            "swaps": result.swap_count,
+        })
+    best = min(rows, key=lambda row: row["area (AQV)"])
+    experiment = ExperimentResult(name="figure1", rows=rows)
+    experiment.extras["curves"] = curves
+    experiment.extras["best_policy"] = best["policy"]
+    experiment.extras["plot"] = ascii_plot(list(curves.values()))
+    return experiment
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Human-readable report including an ASCII rendering of the curves."""
+    from repro.analysis.report import format_comparison
+
+    text = format_comparison(
+        "Figure 1: qubit usage over time for MODEXP", experiment.rows,
+        columns=["policy", "peak qubits", "total time", "area (AQV)", "gates",
+                 "swaps"],
+    )
+    return text + "\n" + str(experiment.extras.get("plot", ""))

@@ -1,0 +1,70 @@
+"""Figure 10: normalized AQV on fault-tolerant (braided) machines.
+
+Same benchmarks and policies as Figure 9, but the target machine is the
+surface-code FT model: communication happens by braiding, the
+communication factor fed to the CER heuristic is the braid-crossing rate,
+and logical gate durations follow the FT duration table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.metrics import arithmetic_mean, normalized_aqv
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentResult,
+    compile_policy_suite,
+    ft_machine_factory,
+    load_scaled_benchmark,
+)
+from repro.workloads.registry import LARGE_BENCHMARKS
+
+POLICIES: Sequence[str] = DEFAULT_POLICIES
+
+
+def run(benchmarks: Sequence[str] = tuple(LARGE_BENCHMARKS),
+        policies: Sequence[str] = POLICIES,
+        scale: str = "laptop") -> ExperimentResult:
+    """Compile every large benchmark on FT machines and normalise to Lazy."""
+    rows = []
+    reductions = []
+    raw: Dict[str, Dict[str, object]] = {}
+    for name in benchmarks:
+        program = load_scaled_benchmark(name, scale)
+        suite = compile_policy_suite(program, ft_machine_factory(),
+                                     policies=policies, start_qubits=64)
+        normalized = normalized_aqv(suite, baseline="lazy")
+        row: Dict[str, object] = {"benchmark": name}
+        for policy in policies:
+            row[policy] = normalized[policy]
+        rows.append(row)
+        raw[name] = {policy: suite[policy].active_quantum_volume
+                     for policy in policies}
+        if normalized["square"] > 0:
+            reductions.append(1.0 - normalized["square"])
+    experiment = ExperimentResult(name="figure10", rows=rows)
+    experiment.extras["raw_aqv"] = raw
+    experiment.extras["mean_reduction_vs_lazy_pct"] = (
+        100.0 * arithmetic_mean(reductions)
+    )
+    experiment.extras["max_reduction_vs_lazy_pct"] = (
+        100.0 * max(reductions) if reductions else 0.0
+    )
+    return experiment
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Text rendering with the mean / max AQV reduction percentages."""
+    from repro.analysis.report import format_comparison
+
+    text = format_comparison(
+        "Figure 10: normalized AQV on fault-tolerant machines "
+        "(normalised to Lazy; lower is better)",
+        experiment.rows,
+    )
+    mean = experiment.extras.get("mean_reduction_vs_lazy_pct", 0.0)
+    best = experiment.extras.get("max_reduction_vs_lazy_pct", 0.0)
+    text += (f"mean AQV reduction of SQUARE vs Lazy: {mean:.1f}%  "
+             f"(max {best:.1f}%)\n")
+    return text

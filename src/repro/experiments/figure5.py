@@ -1,0 +1,73 @@
+"""Figure 5: locality changes the preferred reclamation strategy.
+
+The Belle synthetic benchmark prefers the Eager strategy on a 2-D lattice
+machine (where swaps make qubit-area expansion expensive) but the Lazy
+strategy on a fully-connected machine (where uncomputation gates buy
+nothing).  This experiment compiles Belle under Eager / Lazy / SQUARE on
+both machines and reports the active quantum volume of each combination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.arch.nisq import NISQMachine
+from repro.experiments.runner import (
+    ExperimentResult,
+    compile_on_machine,
+    load_scaled_benchmark,
+)
+from repro.workloads.registry import load_benchmark
+
+POLICIES: Sequence[str] = ("eager", "lazy", "square")
+
+
+def run(benchmark: str = "belle-s", lattice_qubits: int = 25,
+        policies: Sequence[str] = POLICIES) -> ExperimentResult:
+    """Compare reclamation strategies on lattice vs fully-connected machines."""
+    program = load_benchmark(benchmark)
+    rows = []
+    aqv: Dict[str, Dict[str, int]] = {"lattice": {}, "fully-connected": {}}
+    for policy in policies:
+        lattice = NISQMachine.with_qubits(lattice_qubits)
+        result_lattice = compile_on_machine(program, lattice, policy,
+                                            decompose_toffoli=True)
+        full = NISQMachine.fully_connected(lattice_qubits)
+        result_full = compile_on_machine(program, full, policy,
+                                         decompose_toffoli=True)
+        aqv["lattice"][policy] = result_lattice.active_quantum_volume
+        aqv["fully-connected"][policy] = result_full.active_quantum_volume
+        rows.append({
+            "policy": policy,
+            "lattice AQV": result_lattice.active_quantum_volume,
+            "fully-connected AQV": result_full.active_quantum_volume,
+            "lattice swaps": result_lattice.swap_count,
+        })
+
+    def preferred(machine_kind: str) -> str:
+        candidates = {p: aqv[machine_kind][p] for p in ("eager", "lazy")
+                      if p in aqv[machine_kind]}
+        return min(candidates, key=candidates.get) if candidates else ""
+
+    experiment = ExperimentResult(name="figure5", rows=rows)
+    experiment.extras["aqv"] = aqv
+    experiment.extras["preferred_on_lattice"] = preferred("lattice")
+    experiment.extras["preferred_on_full"] = preferred("fully-connected")
+    return experiment
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Text rendering including the preferred-strategy summary."""
+    from repro.analysis.report import format_comparison
+
+    text = format_comparison(
+        "Figure 5: Belle AQV on lattice vs fully-connected machines",
+        experiment.rows,
+        columns=["policy", "lattice AQV", "fully-connected AQV", "lattice swaps"],
+    )
+    text += (
+        f"preferred baseline on lattice: {experiment.extras['preferred_on_lattice']}\n"
+        f"preferred baseline on fully-connected: "
+        f"{experiment.extras['preferred_on_full']}\n"
+    )
+    return text

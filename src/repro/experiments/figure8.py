@@ -1,0 +1,119 @@
+"""Figure 8: impact of SQUARE on NISQ applications.
+
+* 8(a) — active quantum volume of every NISQ benchmark under Lazy, Eager,
+  SQUARE(LAA only) and full SQUARE;
+* 8(b) — success rate from the worst-case analytical model;
+* 8(c) — total variation distance from Monte-Carlo noise simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.arch.nisq import NISQMachine
+from repro.core.result import CompilationResult
+from repro.experiments.runner import ExperimentResult, compile_on_machine
+from repro.noise.analytical import success_rates
+from repro.noise.models import NoiseModel
+from repro.noise.monte_carlo import MonteCarloSimulator, tvd_from_ideal
+from repro.workloads.registry import NISQ_BENCHMARKS, load_benchmark
+
+AQV_POLICIES: Sequence[str] = ("lazy", "eager", "square-laa", "square")
+NOISE_POLICIES: Sequence[str] = ("lazy", "eager", "square")
+
+
+def _compile_suite(name: str, policies: Sequence[str], grid_rows: int,
+                   grid_cols: int, decompose: bool,
+                   record: bool = False) -> Dict[str, CompilationResult]:
+    program = load_benchmark(name)
+    suite: Dict[str, CompilationResult] = {}
+    for policy in policies:
+        machine = NISQMachine.grid(grid_rows, grid_cols)
+        suite[policy] = compile_on_machine(
+            program, machine, policy,
+            decompose_toffoli=decompose, record_schedule=record,
+        )
+    return suite
+
+
+def run_aqv(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
+            policies: Sequence[str] = AQV_POLICIES,
+            grid_rows: int = 5, grid_cols: int = 5) -> ExperimentResult:
+    """Figure 8(a): AQV per benchmark per policy."""
+    rows = []
+    for name in benchmarks:
+        suite = _compile_suite(name, policies, grid_rows, grid_cols,
+                               decompose=True)
+        row: Dict[str, object] = {"benchmark": name}
+        for policy in policies:
+            row[policy] = suite[policy].active_quantum_volume
+        rows.append(row)
+    return ExperimentResult(name="figure8a", rows=rows)
+
+
+def run_success(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
+                policies: Sequence[str] = NOISE_POLICIES,
+                grid_rows: int = 5, grid_cols: int = 5,
+                noise_model: Optional[NoiseModel] = None) -> ExperimentResult:
+    """Figure 8(b): worst-case analytical success rate per benchmark."""
+    rows = []
+    improvements = {"vs_eager": [], "vs_lazy": []}
+    for name in benchmarks:
+        suite = _compile_suite(name, policies, grid_rows, grid_cols,
+                               decompose=True)
+        rates = success_rates(suite, noise_model)
+        row: Dict[str, object] = {"benchmark": name}
+        row.update({policy: rates[policy] for policy in policies})
+        rows.append(row)
+        if rates.get("eager"):
+            improvements["vs_eager"].append(rates["square"] / rates["eager"])
+        if rates.get("lazy"):
+            improvements["vs_lazy"].append(rates["square"] / rates["lazy"])
+    experiment = ExperimentResult(name="figure8b", rows=rows)
+    for key, values in improvements.items():
+        experiment.extras[f"mean_improvement_{key}"] = (
+            sum(values) / len(values) if values else 0.0
+        )
+    return experiment
+
+
+def run_noise(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
+              policies: Sequence[str] = NOISE_POLICIES,
+              grid_rows: int = 5, grid_cols: int = 5,
+              shots: int = 2048, seed: int = 2020,
+              noise_model: Optional[NoiseModel] = None) -> ExperimentResult:
+    """Figure 8(c): total variation distance from noisy simulation.
+
+    The compiled circuit (with router swaps, Toffolis kept whole so the
+    circuit stays classical) is run through the stochastic bit-level noise
+    simulator; readout covers the entry module's parameter qubits, and the
+    TVD is taken against the ideal (noiseless) outcome.
+    """
+    simulator = MonteCarloSimulator(noise_model=noise_model, seed=seed)
+    rows = []
+    for name in benchmarks:
+        suite = _compile_suite(name, policies, grid_rows, grid_cols,
+                               decompose=False, record=True)
+        row: Dict[str, object] = {"benchmark": name}
+        for policy in policies:
+            result = suite[policy]
+            circuit = result.to_circuit(physical=True)
+            measured = result.entry_param_sites()
+            run_result = simulator.run(circuit, shots=shots,
+                                       measured_wires=measured)
+            row[policy] = tvd_from_ideal(run_result)
+        rows.append(row)
+    return ExperimentResult(name="figure8c", rows=rows)
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Text rendering of any of the three Figure 8 panels."""
+    from repro.analysis.report import format_comparison
+
+    titles = {
+        "figure8a": "Figure 8a: Active quantum volume (lower is better)",
+        "figure8b": "Figure 8b: Analytical success rate (higher is better)",
+        "figure8c": "Figure 8c: Total variation distance (lower is better)",
+    }
+    return format_comparison(titles.get(experiment.name, experiment.name),
+                             experiment.rows)

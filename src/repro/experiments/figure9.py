@@ -1,0 +1,63 @@
+"""Figure 9: normalized AQV on medium-scale (NISQ-FT boundary) machines.
+
+The large benchmarks of Table II are compiled onto lattice machines with
+swap-based communication (hundreds to thousands of qubits, no error
+correction) under Lazy, Eager, SQUARE(LAA only) and SQUARE; every AQV is
+normalised to the Lazy policy, matching the presentation of Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.metrics import arithmetic_mean, normalized_aqv
+from repro.experiments.runner import (
+    DEFAULT_POLICIES,
+    ExperimentResult,
+    compile_policy_suite,
+    load_scaled_benchmark,
+    nisq_machine_factory,
+)
+from repro.workloads.registry import LARGE_BENCHMARKS
+
+POLICIES: Sequence[str] = DEFAULT_POLICIES
+
+
+def run(benchmarks: Sequence[str] = tuple(LARGE_BENCHMARKS),
+        policies: Sequence[str] = POLICIES,
+        scale: str = "laptop") -> ExperimentResult:
+    """Compile every large benchmark under every policy on lattice machines."""
+    rows = []
+    reductions = []
+    raw: Dict[str, Dict[str, object]] = {}
+    for name in benchmarks:
+        program = load_scaled_benchmark(name, scale)
+        suite = compile_policy_suite(program, nisq_machine_factory(),
+                                     policies=policies, start_qubits=64)
+        normalized = normalized_aqv(suite, baseline="lazy")
+        row: Dict[str, object] = {"benchmark": name}
+        for policy in policies:
+            row[policy] = normalized[policy]
+        rows.append(row)
+        raw[name] = {policy: suite[policy].active_quantum_volume
+                     for policy in policies}
+        if normalized["square"] > 0:
+            reductions.append(1.0 / normalized["square"])
+    experiment = ExperimentResult(name="figure9", rows=rows)
+    experiment.extras["raw_aqv"] = raw
+    experiment.extras["mean_reduction_vs_lazy"] = arithmetic_mean(reductions)
+    return experiment
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Text rendering with the mean SQUARE-vs-Lazy reduction factor."""
+    from repro.analysis.report import format_comparison
+
+    text = format_comparison(
+        "Figure 9: normalized AQV on NISQ-FT boundary machines "
+        "(normalised to Lazy; lower is better)",
+        experiment.rows,
+    )
+    mean = experiment.extras.get("mean_reduction_vs_lazy", 0.0)
+    text += f"mean AQV reduction of SQUARE vs Lazy: {mean:.2f}x\n"
+    return text

@@ -1,0 +1,145 @@
+"""Shared experiment infrastructure.
+
+Every experiment module compiles a set of benchmarks under the four
+compiler configurations of the paper (Lazy, Eager, SQUARE-LAA-only and
+SQUARE) on an appropriate machine, then post-processes the
+:class:`~repro.core.result.CompilationResult` objects into the rows or
+series of the corresponding table / figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError, ResourceExhaustedError
+from repro.arch.ft import FTMachine
+from repro.arch.machine import Machine
+from repro.arch.nisq import NISQMachine
+from repro.core.compiler import SquareCompiler, preset
+from repro.core.result import CompilationResult
+from repro.ir.program import Program
+from repro.workloads.registry import load_benchmark
+
+#: Policies evaluated throughout Section V, in presentation order.
+DEFAULT_POLICIES: Tuple[str, ...] = ("lazy", "eager", "square-laa", "square")
+
+#: Benchmark size overrides used for laptop-scale runs of the large
+#: benchmarks (Figures 9 and 10).  The paper compiles the full-width
+#: versions on a workstation; the reduced widths preserve the modular
+#: structure and the relative policy behaviour while keeping a full sweep
+#: in the minutes range.  Pass ``scale="paper"`` to use full widths.
+LAPTOP_SCALE_OVERRIDES: Mapping[str, Dict[str, int]] = {
+    "MUL32": {"width": 12},
+    "MUL64": {"width": 16},
+    "MODEXP": {"width": 4, "exponent_bits": 4},
+    "SHA2": {"word_width": 8, "rounds": 4},
+    "SALSA20": {"word_width": 8, "rounds": 2},
+}
+
+QUICK_SCALE_OVERRIDES: Mapping[str, Dict[str, int]] = {
+    "ADDER32": {"width": 16},
+    "ADDER64": {"width": 24},
+    "MUL32": {"width": 6},
+    "MUL64": {"width": 8},
+    "MODEXP": {"width": 3, "exponent_bits": 3},
+    "SHA2": {"word_width": 4, "rounds": 2},
+    "SALSA20": {"word_width": 4, "rounds": 1},
+}
+
+
+def benchmark_overrides(name: str, scale: str = "laptop") -> Dict[str, int]:
+    """Size overrides for a large benchmark under the given scale."""
+    if scale == "paper":
+        return {}
+    if scale == "quick":
+        return dict(QUICK_SCALE_OVERRIDES.get(name, {}))
+    if scale == "laptop":
+        return dict(LAPTOP_SCALE_OVERRIDES.get(name, {}))
+    raise ExperimentError(f"unknown scale {scale!r}; use quick, laptop or paper")
+
+
+def load_scaled_benchmark(name: str, scale: str = "laptop") -> Program:
+    """Load a benchmark at the requested scale."""
+    return load_benchmark(name, **benchmark_overrides(name, scale))
+
+
+@dataclass
+class ExperimentResult:
+    """Generic experiment output: rows plus free-form extra data.
+
+    Attributes:
+        name: Experiment identifier (e.g. ``"figure9"``).
+        rows: Table rows ready for :func:`repro.analysis.report.format_table`.
+        extras: Any additional structured data (curves, summaries).
+    """
+
+    name: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+def compile_on_machine(
+    program: Program,
+    machine: Machine,
+    policy: str,
+    **config_overrides,
+) -> CompilationResult:
+    """Compile one program under one named policy preset."""
+    config = preset(policy, **config_overrides)
+    return SquareCompiler(machine, config).compile(program)
+
+
+def compile_with_autosize(
+    program: Program,
+    policy: str,
+    machine_factory: Callable[[int], Machine],
+    start_qubits: int = 32,
+    max_qubits: int = 1 << 16,
+    **config_overrides,
+) -> CompilationResult:
+    """Compile, growing the machine until the program fits.
+
+    Lazy compilations can need many more qubits than SQUARE or Eager; the
+    paper sweeps machine sizes, and this helper finds the smallest
+    power-of-two-ish machine that accommodates the policy.
+    """
+    qubits = max(start_qubits, program.entry.num_params + 4)
+    while True:
+        machine = machine_factory(qubits)
+        try:
+            return compile_on_machine(program, machine, policy, **config_overrides)
+        except ResourceExhaustedError:
+            if qubits >= max_qubits:
+                raise
+            qubits *= 2
+
+
+def compile_policy_suite(
+    program: Program,
+    machine_factory: Callable[[int], Machine],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    start_qubits: int = 32,
+    **config_overrides,
+) -> Dict[str, CompilationResult]:
+    """Compile a program under every policy, auto-sizing the machine."""
+    results: Dict[str, CompilationResult] = {}
+    for policy in policies:
+        results[policy] = compile_with_autosize(
+            program, policy, machine_factory, start_qubits=start_qubits,
+            **config_overrides,
+        )
+    return results
+
+
+def nisq_machine_factory(rows: Optional[int] = None, cols: Optional[int] = None
+                         ) -> Callable[[int], Machine]:
+    """Factory producing lattice NISQ machines of at least ``n`` qubits."""
+    if rows is not None and cols is not None:
+        return lambda _n: NISQMachine.grid(rows, cols)
+    return lambda n: NISQMachine.with_qubits(n)
+
+
+def ft_machine_factory() -> Callable[[int], Machine]:
+    """Factory producing surface-code FT machines of at least ``n`` qubits."""
+    return lambda n: FTMachine.with_qubits(n)

@@ -1,0 +1,57 @@
+"""Table III: NISQ benchmark compilation results.
+
+For every small NISQ benchmark and every policy, report gate count
+(excluding router swaps), qubit footprint, circuit depth and swap count —
+the four columns of Table III — on a 2-D lattice machine of at most
+~25 physical qubits, with Toffolis decomposed into Clifford+T.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.arch.nisq import NISQMachine
+from repro.core.result import CompilationResult
+from repro.experiments.runner import ExperimentResult, compile_on_machine
+from repro.workloads.registry import NISQ_BENCHMARKS, load_benchmark
+
+POLICIES: Sequence[str] = ("lazy", "eager", "square")
+
+
+def run(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
+        policies: Sequence[str] = POLICIES,
+        grid_rows: int = 5, grid_cols: int = 5) -> ExperimentResult:
+    """Compile every NISQ benchmark under every policy on one lattice."""
+    rows = []
+    results: Dict[str, Dict[str, CompilationResult]] = {}
+    for name in benchmarks:
+        program = load_benchmark(name)
+        per_policy: Dict[str, CompilationResult] = {}
+        for policy in policies:
+            machine = NISQMachine.grid(grid_rows, grid_cols)
+            result = compile_on_machine(program, machine, policy,
+                                        decompose_toffoli=True)
+            per_policy[policy] = result
+            rows.append({
+                "benchmark": name,
+                "policy": policy,
+                "gates": result.gate_count,
+                "qubits": result.num_qubits_used,
+                "depth": result.circuit_depth,
+                "swaps": result.swap_count,
+            })
+        results[name] = per_policy
+    experiment = ExperimentResult(name="table3", rows=rows)
+    experiment.extras["results"] = results
+    return experiment
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Text rendering in the layout of Table III."""
+    from repro.analysis.report import format_comparison
+
+    return format_comparison(
+        "Table III: NISQ benchmarks compilation results",
+        experiment.rows,
+        columns=["benchmark", "policy", "gates", "qubits", "depth", "swaps"],
+    )

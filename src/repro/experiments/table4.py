@@ -1,0 +1,22 @@
+"""Table IV: device error rates and the simulation noise model."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.noise.models import table_iv_rows
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table IV (a configuration table, no compilation needed)."""
+    return ExperimentResult(name="table4", rows=table_iv_rows())
+
+
+def format_report(experiment: ExperimentResult) -> str:
+    """Text rendering of Table IV."""
+    from repro.analysis.report import format_comparison
+
+    return format_comparison(
+        "Table IV: error rates on real devices and our simulation noise model",
+        experiment.rows,
+        columns=["device", "# Qubits", "single", "two", "T1 (us)", "T2 (us)"],
+    )

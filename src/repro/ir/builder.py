@@ -1,0 +1,168 @@
+"""Scaffold-style builder for modular programs.
+
+:class:`ModuleBuilder` wraps a :class:`~repro.ir.program.QModule` with
+context managers that mirror the paper's Compute-Store-Uncompute syntax
+(Figure 6)::
+
+    builder = ModuleBuilder("fun1", num_inputs=3, num_outputs=1, num_ancilla=1)
+    in_, out, anc = builder.inputs, builder.outputs, builder.ancillas
+    with builder.compute():
+        builder.ccx(in_[0], in_[1], in_[2])
+        builder.cx(in_[2], anc[0])
+        builder.ccx(in_[1], in_[0], anc[0])
+    with builder.store():
+        builder.cx(anc[0], out[0])
+    builder.auto_uncompute()          # equivalent to invoking Inverse()
+    module = builder.build()
+
+Leaving out ``auto_uncompute`` (and not writing an explicit uncompute
+block) means the compiler generates the inverse of the Compute block on
+demand, which is the common case.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.exceptions import IRError
+from repro.ir.inverse import invert_statements
+from repro.ir.program import Program, QModule, Qubit
+
+
+class ModuleBuilder:
+    """Imperative builder producing a :class:`QModule`.
+
+    Args:
+        name: Module (function) name.
+        num_inputs: Number of input parameter qubits.
+        num_outputs: Number of output parameter qubits.
+        num_ancilla: Number of scratch qubits the module allocates.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_inputs: int,
+        num_outputs: int = 0,
+        num_ancilla: int = 0,
+    ) -> None:
+        self._module = QModule(
+            name,
+            num_inputs=num_inputs,
+            num_outputs=num_outputs,
+            num_ancilla=num_ancilla,
+        )
+        self._built = False
+
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> Tuple[Qubit, ...]:
+        """Input parameter qubits."""
+        return self._module.inputs
+
+    @property
+    def outputs(self) -> Tuple[Qubit, ...]:
+        """Output parameter qubits."""
+        return self._module.outputs
+
+    @property
+    def ancillas(self) -> Tuple[Qubit, ...]:
+        """Ancilla qubits allocated by the module."""
+        return self._module.ancillas
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def compute(self) -> Iterator["ModuleBuilder"]:
+        """Direct statements into the Compute block while active."""
+        previous = self._module._current_block
+        self._module.begin_compute()
+        try:
+            yield self
+        finally:
+            self._module._current_block = previous
+
+    @contextlib.contextmanager
+    def store(self) -> Iterator["ModuleBuilder"]:
+        """Direct statements into the Store block while active."""
+        previous = self._module._current_block
+        self._module.begin_store()
+        try:
+            yield self
+        finally:
+            self._module._current_block = previous
+
+    @contextlib.contextmanager
+    def uncompute(self) -> Iterator["ModuleBuilder"]:
+        """Direct statements into an explicit Uncompute block while active."""
+        previous = self._module._current_block
+        self._module.begin_uncompute()
+        try:
+            yield self
+        finally:
+            self._module._current_block = previous
+
+    def auto_uncompute(self) -> None:
+        """Populate the Uncompute block as the inverse of Compute.
+
+        Only valid for modules whose Compute block contains plain gates; a
+        module that calls children should leave the Uncompute block implicit
+        so the compiler can invert the call structure with the correct
+        per-call-site reclamation records.
+
+        Raises:
+            IRError: If the Compute block contains a call statement.
+        """
+        from repro.ir.program import CallStmt
+
+        if any(isinstance(stmt, CallStmt) for stmt in self._module.compute):
+            raise IRError(
+                "auto_uncompute() only supports gate-only Compute blocks; "
+                "leave the Uncompute block implicit for modules with calls"
+            )
+        self._module.uncompute = invert_statements(self._module.compute)
+
+    # ------------------------------------------------------------------
+    # Gate helpers simply forward to the underlying module.
+    def gate(self, name: str, *qubits: Qubit) -> "ModuleBuilder":
+        """Append gate ``name`` on ``qubits``."""
+        self._module.gate(name, *qubits)
+        return self
+
+    def x(self, q: Qubit) -> "ModuleBuilder":
+        """Append a NOT gate."""
+        return self.gate("x", q)
+
+    def cx(self, control: Qubit, target: Qubit) -> "ModuleBuilder":
+        """Append a CNOT gate."""
+        return self.gate("cx", control, target)
+
+    def ccx(self, a: Qubit, b: Qubit, target: Qubit) -> "ModuleBuilder":
+        """Append a Toffoli gate."""
+        return self.gate("ccx", a, b, target)
+
+    def swap(self, a: Qubit, b: Qubit) -> "ModuleBuilder":
+        """Append a SWAP gate."""
+        return self.gate("swap", a, b)
+
+    def h(self, q: Qubit) -> "ModuleBuilder":
+        """Append a Hadamard gate."""
+        return self.gate("h", q)
+
+    def call(self, module: QModule, *args: Qubit) -> "ModuleBuilder":
+        """Append a call to a child module."""
+        self._module.call(module, *args)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self) -> QModule:
+        """Finalize and return the module (validates structure)."""
+        if self._built:
+            raise IRError("ModuleBuilder.build() may only be called once")
+        self._module.validate()
+        self._built = True
+        return self._module
+
+    def build_program(self, name: Optional[str] = None) -> Program:
+        """Finalize the module and wrap it as a single-module program."""
+        return Program(self.build(), name=name)

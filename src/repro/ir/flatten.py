@@ -1,0 +1,178 @@
+"""Flatten a modular program into a flat gate-level circuit.
+
+The flattener expands every call with *Eager* semantics (each module
+uncomputes and frees its own ancillas), which makes every call a clean
+unitary on its parameter wires.  This yields the logical reference
+circuit used for functional-correctness tests of the workload library
+and as input to the state-vector simulator when no architecture is in
+play.  Policy-aware expansion (Eager / Lazy / SQUARE with routing and
+scheduling) lives in :mod:`repro.core.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CompilationError
+from repro.ir.circuit import Circuit
+from repro.ir.gates import inverse_gate_name, make_gate
+from repro.ir.program import CallStmt, GateStmt, Program, QModule, Qubit, Statement
+
+
+@dataclass
+class FlatCircuit:
+    """A flattened program.
+
+    Attributes:
+        circuit: The flat gate-level circuit.
+        param_wires: Wire index of each parameter qubit of the entry module,
+            in parameter order (inputs then outputs).
+        max_ancilla_in_use: Peak number of ancilla wires live at any time.
+        total_ancilla_wires: Number of distinct ancilla wires ever created.
+    """
+
+    circuit: Circuit
+    param_wires: Tuple[int, ...]
+    max_ancilla_in_use: int
+    total_ancilla_wires: int
+
+
+class _WirePool:
+    """Allocates integer wires, optionally reusing freed ancilla wires."""
+
+    def __init__(self, circuit: Circuit, reuse: bool) -> None:
+        self._circuit = circuit
+        self._reuse = reuse
+        self._free: List[int] = []
+        self.in_use = 0
+        self.peak_in_use = 0
+        self.total_created = 0
+
+    def allocate(self) -> int:
+        self.in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        if self._reuse and self._free:
+            return self._free.pop()
+        self.total_created += 1
+        return self._circuit.add_qubit()
+
+    def release(self, wire: int) -> None:
+        self.in_use -= 1
+        if self._reuse:
+            self._free.append(wire)
+
+
+class Flattener:
+    """Expand a :class:`~repro.ir.program.Program` into a flat circuit.
+
+    Args:
+        reuse_ancilla: When True (default), ancilla wires freed by a module
+            are reused by later allocations, mimicking an ideal ancilla heap.
+        max_depth: Safety limit on call nesting to catch accidental cycles.
+    """
+
+    def __init__(self, reuse_ancilla: bool = True, max_depth: int = 64) -> None:
+        self._reuse_ancilla = reuse_ancilla
+        self._max_depth = max_depth
+
+    def flatten(self, program: Program) -> FlatCircuit:
+        """Flatten ``program`` with Eager (self-cleaning) call semantics."""
+        program.validate()
+        entry = program.entry
+        circuit = Circuit(0, name=program.name)
+        pool = _WirePool(circuit, self._reuse_ancilla)
+        param_wires = tuple(circuit.add_qubit() for _ in entry.params)
+        binding = dict(zip(entry.params, param_wires))
+        self._emit_body(entry, binding, circuit, pool, inverted=False, depth=0,
+                        top_level=True)
+        return FlatCircuit(
+            circuit=circuit,
+            param_wires=param_wires,
+            max_ancilla_in_use=pool.peak_in_use,
+            total_ancilla_wires=pool.total_created,
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_body(
+        self,
+        module: QModule,
+        binding: Dict[Qubit, int],
+        circuit: Circuit,
+        pool: _WirePool,
+        inverted: bool,
+        depth: int,
+        top_level: bool = False,
+    ) -> None:
+        """Emit one (possibly inverted) self-cleaning execution of a module."""
+        if depth > self._max_depth:
+            raise CompilationError(
+                f"call depth exceeded {self._max_depth}; recursive program?"
+            )
+        ancilla_wires = [pool.allocate() for _ in module.ancillas]
+        local = dict(binding)
+        local.update(zip(module.ancillas, ancilla_wires))
+
+        compute = list(module.compute)
+        store = list(module.store)
+        # Modules without ancilla have nothing to clean up: their Compute
+        # block acts directly on parameters and is never uncomputed.
+        if not module.ancillas:
+            if not inverted:
+                blocks = [(compute, False), (store, False)]
+            else:
+                blocks = [(store, True), (compute, True)]
+        else:
+            # The final block is the inverse of Compute: either the explicit
+            # Uncompute block written by the programmer (emitted verbatim) or
+            # the Compute block emitted in inverted order.
+            if module.has_explicit_uncompute:
+                final_block = (list(module.uncompute), False)
+            else:
+                final_block = (compute, True)
+            if not inverted:
+                blocks = [(compute, False), (store, False), final_block]
+            else:
+                # (C ; S ; C^-1)^-1  =  C ; S^-1 ; C^-1
+                blocks = [(compute, False), (store, True), final_block]
+
+        for statements, block_inverted in blocks:
+            self._emit_statements(statements, local, circuit, pool,
+                                  block_inverted, depth)
+
+        for wire in ancilla_wires:
+            pool.release(wire)
+
+    def _emit_statements(
+        self,
+        statements: Sequence[Statement],
+        binding: Dict[Qubit, int],
+        circuit: Circuit,
+        pool: _WirePool,
+        inverted: bool,
+        depth: int,
+    ) -> None:
+        ordered = reversed(statements) if inverted else statements
+        for stmt in ordered:
+            if isinstance(stmt, GateStmt):
+                name = inverse_gate_name(stmt.name) if inverted else stmt.name
+                wires = tuple(binding[q] for q in stmt.qubits)
+                circuit.append(make_gate(name, wires))
+            elif isinstance(stmt, CallStmt):
+                child_binding = {
+                    param: binding[arg]
+                    for param, arg in zip(stmt.module.params, stmt.args)
+                }
+                self._emit_body(stmt.module, child_binding, circuit, pool,
+                                inverted=inverted, depth=depth + 1)
+            else:  # pragma: no cover - defensive
+                raise CompilationError(f"unknown statement type {type(stmt)!r}")
+
+def flatten_program(program: Program, reuse_ancilla: bool = True) -> FlatCircuit:
+    """Convenience wrapper around :class:`Flattener`."""
+    return Flattener(reuse_ancilla=reuse_ancilla).flatten(program)
+
+
+def flatten_module(module: QModule, reuse_ancilla: bool = True) -> FlatCircuit:
+    """Flatten a single module as if it were a whole program."""
+    return flatten_program(Program(module), reuse_ancilla=reuse_ancilla)

@@ -1,0 +1,177 @@
+"""Gate set definitions for the quantum intermediate representation.
+
+The paper (Section II-C) targets the Clifford+T instruction set plus the
+reversible-logic gates NOT, CNOT and Toffoli, with SWAP used by the NISQ
+router.  Each gate is described by a :class:`GateSpec` (arity, inverse,
+whether it is classical reversible logic, default duration) and a circuit
+holds lightweight :class:`Gate` instances that reference operand qubits by
+index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, Tuple
+
+from repro.exceptions import UnknownGateError
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a named gate.
+
+    Attributes:
+        name: Canonical lower-case gate name (e.g. ``"cx"``).
+        num_qubits: Number of operand qubits.
+        inverse: Name of the inverse gate (itself for self-inverse gates).
+        classical: True when the gate maps computational basis states to
+            computational basis states (NOT / CNOT / Toffoli / SWAP), i.e.
+            it is classical reversible logic that can be uncomputed.
+        duration: Default logical duration in scheduler time units.
+        diagonal: True for gates diagonal in the computational basis.
+    """
+
+    name: str
+    num_qubits: int
+    inverse: str
+    classical: bool = False
+    duration: int = 1
+    diagonal: bool = False
+
+
+def _spec(name, num_qubits, inverse=None, classical=False, duration=1, diagonal=False):
+    return GateSpec(
+        name=name,
+        num_qubits=num_qubits,
+        inverse=inverse if inverse is not None else name,
+        classical=classical,
+        duration=duration,
+        diagonal=diagonal,
+    )
+
+
+#: Registry of every gate the IR understands, keyed by canonical name.
+GATE_SPECS: Mapping[str, GateSpec] = {
+    # Classical reversible logic (uncomputable).
+    "x": _spec("x", 1, classical=True),
+    "cx": _spec("cx", 2, classical=True, duration=2),
+    "ccx": _spec("ccx", 3, classical=True, duration=6),
+    "swap": _spec("swap", 2, classical=True, duration=6),
+    # Clifford gates.
+    "h": _spec("h", 1),
+    "z": _spec("z", 1, diagonal=True),
+    "s": _spec("s", 1, inverse="sdg", diagonal=True),
+    "sdg": _spec("sdg", 1, inverse="s", diagonal=True),
+    "y": _spec("y", 1),
+    "cz": _spec("cz", 2, duration=2, diagonal=True),
+    # Non-Clifford gates.
+    "t": _spec("t", 1, inverse="tdg", diagonal=True),
+    "tdg": _spec("tdg", 1, inverse="t", diagonal=True),
+    # Non-unitary operations.
+    "measure": _spec("measure", 1),
+    "reset": _spec("reset", 1),
+    "barrier": _spec("barrier", 0),
+}
+
+#: Gate names that represent classical reversible logic.
+CLASSICAL_GATES = frozenset(name for name, spec in GATE_SPECS.items() if spec.classical)
+
+#: Gate names that are not unitary and therefore cannot be inverted.
+NON_UNITARY_GATES = frozenset({"measure", "reset"})
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Return the :class:`GateSpec` for ``name``.
+
+    Raises:
+        UnknownGateError: If the gate name is not registered.
+    """
+    try:
+        return GATE_SPECS[name]
+    except KeyError:
+        raise UnknownGateError(f"unknown gate {name!r}") from None
+
+
+def inverse_gate_name(name: str) -> str:
+    """Return the name of the inverse of gate ``name``.
+
+    Raises:
+        UnknownGateError: If the gate is unknown.
+        ValueError: If the gate is not unitary (measure / reset).
+    """
+    spec = gate_spec(name)
+    if name in NON_UNITARY_GATES:
+        raise ValueError(f"gate {name!r} is not unitary and has no inverse")
+    return spec.inverse
+
+
+def is_classical_gate(name: str) -> bool:
+    """Return True if ``name`` is classical reversible logic."""
+    return gate_spec(name).classical
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate instance acting on concrete qubit indices.
+
+    Attributes:
+        name: Canonical gate name registered in :data:`GATE_SPECS`.
+        qubits: Operand qubit indices, control(s) first then target.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.name)
+        if spec.num_qubits and len(self.qubits) != spec.num_qubits:
+            raise UnknownGateError(
+                f"gate {self.name!r} expects {spec.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise UnknownGateError(
+                f"gate {self.name!r} has duplicate operand qubits {self.qubits}"
+            )
+
+    @property
+    def spec(self) -> GateSpec:
+        """The static description of this gate."""
+        return gate_spec(self.name)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of operand qubits."""
+        return len(self.qubits)
+
+    @property
+    def is_classical(self) -> bool:
+        """True when the gate is classical reversible logic."""
+        return self.spec.classical
+
+    @property
+    def is_unitary(self) -> bool:
+        """True when the gate is unitary (invertible)."""
+        return self.name not in NON_UNITARY_GATES
+
+    @property
+    def duration(self) -> int:
+        """Default logical duration in scheduler time units."""
+        return self.spec.duration
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate acting on the same qubits."""
+        return Gate(inverse_gate_name(self.name), self.qubits)
+
+    def remap(self, mapping: Mapping[int, int]) -> "Gate":
+        """Return a copy with qubit indices substituted through ``mapping``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits))
+
+    def __str__(self) -> str:
+        operands = " ".join(f"q{q}" for q in self.qubits)
+        return f"{self.name} {operands}".strip()
+
+
+def make_gate(name: str, qubits: Sequence[int]) -> Gate:
+    """Construct a :class:`Gate`, validating the name and arity."""
+    return Gate(name, tuple(int(q) for q in qubits))

@@ -1,0 +1,113 @@
+"""Inversion of statement blocks (automatic ``Inverse()`` of Figure 6).
+
+Uncomputation replays a block's statements in reverse order with every
+gate replaced by its inverse and every call marked as an inverse call.
+The compiler uses :func:`invert_statements` when a module relies on
+automatic generation of its Uncompute block, and :func:`inverse_module`
+builds a standalone inverted module (useful for constructing workloads
+such as the modular-exponentiation circuit).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import IrreversibleBlockError, NonClassicalGateError
+from repro.ir.gates import NON_UNITARY_GATES, inverse_gate_name, is_classical_gate
+from repro.ir.program import CallStmt, GateStmt, QModule, Statement
+
+
+def invert_gate_stmt(stmt: GateStmt) -> GateStmt:
+    """Return the inverse of a single gate statement."""
+    if stmt.name in NON_UNITARY_GATES:
+        raise IrreversibleBlockError(
+            f"cannot invert non-unitary gate {stmt.name!r}"
+        )
+    return GateStmt(inverse_gate_name(stmt.name), stmt.qubits)
+
+
+def invert_statements(statements: Sequence[Statement]) -> List[Statement]:
+    """Return the statement-level inverse of a block.
+
+    Gate statements are inverted in place; call statements are preserved
+    (the compiler interprets a call appearing in an inverted block as an
+    inverse call and consults the corresponding forward call record).
+
+    Raises:
+        IrreversibleBlockError: If the block contains measurement or reset.
+    """
+    inverted: List[Statement] = []
+    for stmt in reversed(statements):
+        if isinstance(stmt, GateStmt):
+            inverted.append(invert_gate_stmt(stmt))
+        else:
+            inverted.append(stmt)
+    return inverted
+
+
+def check_uncomputable(statements: Sequence[Statement]) -> None:
+    """Verify a block only contains classical reversible logic and calls.
+
+    The paper restricts uncomputation to the classical-arithmetic parts of
+    a program (Section II-D); Hadamard / T gates make a block non-classical
+    and measurement makes it non-invertible.
+
+    Raises:
+        NonClassicalGateError: If a gate is unitary but not classical.
+        IrreversibleBlockError: If the block contains measure or reset.
+    """
+    for stmt in statements:
+        if isinstance(stmt, CallStmt):
+            check_uncomputable(list(stmt.module.compute) + list(stmt.module.store))
+            continue
+        if stmt.name in NON_UNITARY_GATES:
+            raise IrreversibleBlockError(
+                f"block contains non-unitary gate {stmt.name!r}"
+            )
+        if not is_classical_gate(stmt.name):
+            raise NonClassicalGateError(
+                f"block contains non-classical gate {stmt.name!r}; "
+                "uncomputation requires classical reversible logic"
+            )
+
+
+def uncompute_block(module: QModule) -> List[Statement]:
+    """Return the Uncompute block of ``module``.
+
+    If the programmer wrote it explicitly it is returned verbatim;
+    otherwise it is generated as the inverse of the Compute block.
+    """
+    if module.uncompute is not None:
+        return list(module.uncompute)
+    return invert_statements(module.compute)
+
+
+def inverse_module(module: QModule, name: str = "") -> QModule:
+    """Build a standalone module computing the inverse of ``module``.
+
+    The inverse of ``Compute; Store; Uncompute`` (with Uncompute equal to
+    the inverse of Compute) is ``Compute; Store^-1; Uncompute``, i.e. the
+    same module with the Store block inverted.  Child calls inside the
+    blocks are kept as forward calls, which is correct because every child
+    call is itself an involution-conjugated operation on its parameters.
+    """
+    inverse = QModule(
+        name or f"{module.name}_inv",
+        num_inputs=len(module.inputs),
+        num_outputs=len(module.outputs),
+        num_ancilla=module.num_ancilla,
+    )
+    mapping = {old: new for old, new in zip(
+        module.params + module.ancillas, inverse.params + inverse.ancillas
+    )}
+
+    def remap(stmt: Statement) -> Statement:
+        if isinstance(stmt, GateStmt):
+            return GateStmt(stmt.name, tuple(mapping[q] for q in stmt.qubits))
+        return CallStmt(stmt.module, tuple(mapping[q] for q in stmt.args))
+
+    inverse.compute = [remap(s) for s in module.compute]
+    inverse.store = [remap(s) for s in invert_statements(module.store)]
+    if module.uncompute is not None:
+        inverse.uncompute = [remap(s) for s in module.uncompute]
+    return inverse

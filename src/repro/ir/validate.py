@@ -1,0 +1,134 @@
+"""Reversibility and structural validation of modular programs.
+
+Verifies (by bit-level simulation) that a classical reversible module
+restores its ancilla qubits to |0> after its Uncompute block, and that an
+explicitly written Uncompute block is the exact inverse of the Compute
+block — the correctness condition SQUARE relies on when it chooses to skip
+or execute uncomputation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ValidationError
+from repro.ir.circuit import Circuit
+from repro.ir.classical_sim import simulate_classical
+from repro.ir.flatten import flatten_module
+from repro.ir.gates import inverse_gate_name, make_gate
+from repro.ir.program import CallStmt, GateStmt, Program, QModule, Qubit, Statement
+
+
+def _random_inputs(width: int, rng: random.Random) -> List[int]:
+    return [rng.randint(0, 1) for _ in range(width)]
+
+
+def verify_ancilla_restored(
+    module: QModule,
+    trials: int = 16,
+    seed: int = 7,
+    exhaustive_limit: int = 10,
+) -> None:
+    """Check the module leaves every ancilla wire in |0> for basis inputs.
+
+    The module is flattened with Eager semantics (so every nested ancilla is
+    also checked) and simulated classically on random — or, for narrow
+    modules, all — basis-state inputs.
+
+    Raises:
+        ValidationError: If any ancilla wire ends in |1>.
+    """
+    flat = flatten_module(module, reuse_ancilla=False)
+    circuit = flat.circuit
+    if not circuit.is_classical():
+        raise ValidationError(
+            f"module {module.name!r} contains non-classical gates; "
+            "ancilla restoration can only be checked for reversible logic"
+        )
+    param_wires = set(flat.param_wires)
+    ancilla_wires = [w for w in range(circuit.num_qubits) if w not in param_wires]
+    width = len(flat.param_wires)
+    rng = random.Random(seed)
+    if width <= exhaustive_limit:
+        cases = [[(value >> i) & 1 for i in range(width)] for value in range(1 << width)]
+    else:
+        cases = [_random_inputs(width, rng) for _ in range(trials)]
+    for bits in cases:
+        assignment = dict(zip(flat.param_wires, bits))
+        final = simulate_classical(circuit, assignment)
+        dirty = [w for w in ancilla_wires if final[w] != 0]
+        if dirty:
+            raise ValidationError(
+                f"module {module.name!r} leaves ancilla wires {dirty} dirty "
+                f"for input {bits}"
+            )
+
+
+def verify_explicit_uncompute(
+    module: QModule,
+    trials: int = 16,
+    seed: int = 11,
+) -> None:
+    """Check an explicit Uncompute block is the inverse of the Compute block.
+
+    Simulates Compute followed by Uncompute on the module's own wires and
+    verifies the identity on random basis states.  Modules without an
+    explicit Uncompute block trivially pass.
+
+    Raises:
+        ValidationError: If Compute;Uncompute is not the identity.
+    """
+    if module.uncompute is None:
+        return
+    wires = {q: i for i, q in enumerate(module.params + module.ancillas)}
+    circuit = Circuit(len(wires), name=f"{module.name}_roundtrip")
+
+    def emit(statements: Sequence[Statement]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, GateStmt):
+                circuit.append(make_gate(stmt.name, tuple(wires[q] for q in stmt.qubits)))
+            elif isinstance(stmt, CallStmt):
+                flat = flatten_module(stmt.module, reuse_ancilla=False)
+                offset = circuit.num_qubits
+                mapping = {}
+                for local_index in range(flat.circuit.num_qubits):
+                    mapping[local_index] = offset + local_index
+                for param_wire, arg in zip(flat.param_wires, stmt.args):
+                    mapping[param_wire] = wires[arg]
+                circuit.compose(flat.circuit, mapping)
+
+    emit(module.compute)
+    emit(module.uncompute)
+
+    if not circuit.is_classical():
+        raise ValidationError(
+            f"module {module.name!r}: round-trip check requires classical gates"
+        )
+    rng = random.Random(seed)
+    width = len(wires)
+    for _ in range(trials):
+        bits = _random_inputs(width, rng)
+        final = simulate_classical(circuit, bits)
+        if final[:width] != bits:
+            raise ValidationError(
+                f"module {module.name!r}: Uncompute block is not the inverse "
+                f"of Compute (input {bits} -> {final[:width]})"
+            )
+
+
+def validate_program(program: Program, check_ancilla: bool = False) -> None:
+    """Run structural validation and (optionally) ancilla-restoration checks.
+
+    Args:
+        program: The program to validate.
+        check_ancilla: When True also simulate every module classically to
+            verify ancillas are restored (can be slow for wide modules).
+    """
+    program.validate()
+    for module in program.modules():
+        verify_explicit_uncompute(module)
+        if check_ancilla and module.num_ancilla:
+            flat = flatten_module(module, reuse_ancilla=False)
+            if flat.circuit.is_classical() and len(module.params) <= 12:
+                verify_ancilla_restored(module)

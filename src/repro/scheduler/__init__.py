@@ -1,0 +1,13 @@
+"""Gate scheduling and qubit liveness tracking."""
+
+from repro.scheduler.asap import GateScheduler
+from repro.scheduler.events import GateExecution, ScheduledGate
+from repro.scheduler.tracker import LivenessTracker, UsageSegment
+
+__all__ = [
+    "GateExecution",
+    "GateScheduler",
+    "LivenessTracker",
+    "ScheduledGate",
+    "UsageSegment",
+]

@@ -1,0 +1,176 @@
+"""ASAP gate scheduler with communication resolution.
+
+The scheduler owns the virtual-to-physical :class:`~repro.arch.mapping.Layout`
+and a per-qubit clock.  Each gate the compiler emits is scheduled at the
+earliest time allowed by its operands; two-qubit gates between non-adjacent
+sites first receive the swap chain (NISQ) or braid delay (FT) returned by
+the machine model.  The scheduler also drives the liveness tracker so that
+usage segments reflect actual scheduled times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import CompilationError
+from repro.arch.machine import CommunicationResult, Machine
+from repro.arch.mapping import Layout
+from repro.scheduler.events import GateExecution, ScheduledGate
+from repro.scheduler.tracker import LivenessTracker
+
+
+class GateScheduler:
+    """Schedules gates on a machine, inserting communication as needed.
+
+    Args:
+        machine: The target machine model.
+        tracker: Liveness tracker updated as gates are scheduled.
+        record_schedule: When True every scheduled gate (including
+            router-inserted swaps) is kept in :attr:`events`; turn off for
+            very large workloads to save memory.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        tracker: Optional[LivenessTracker] = None,
+        record_schedule: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.layout = Layout(machine.topology)
+        self.tracker = tracker if tracker is not None else LivenessTracker()
+        self._record = record_schedule
+        self.events: List[ScheduledGate] = []
+        self._qubit_time: Dict[int, int] = {}
+        self._site_time: Dict[int, int] = {}
+        self.makespan = 0
+        self.gate_count = 0
+        self.swap_count = 0
+        self.comm_cost_total = 0.0
+        self.two_qubit_gate_count = 0
+
+    # ------------------------------------------------------------------
+    # Qubit management
+    # ------------------------------------------------------------------
+    def register_qubit(self, virtual: int, site: int) -> None:
+        """Place a freshly created virtual qubit on ``site``."""
+        self.layout.place(virtual, site)
+        self._qubit_time[virtual] = self._site_time.get(site, 0)
+
+    def qubit_time(self, virtual: int) -> int:
+        """Current availability time of a virtual qubit."""
+        return self._qubit_time.get(virtual, 0)
+
+    def frontier_time(self, virtual_qubits: Sequence[int]) -> int:
+        """Earliest time a gate on ``virtual_qubits`` could start."""
+        return max((self._qubit_time.get(q, 0) for q in virtual_qubits), default=0)
+
+    def current_time(self) -> int:
+        """The makespan so far (used as the allocation timestamp)."""
+        return self.makespan
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_gate(self, name: str, virtual_qubits: Sequence[int]) -> GateExecution:
+        """Schedule one logical gate, resolving connectivity first.
+
+        Returns:
+            A :class:`GateExecution` with the gate's time window, the number
+            of swaps inserted and the communication cost units.
+        """
+        qubits = tuple(virtual_qubits)
+        for qubit in qubits:
+            if not self.layout.is_placed(qubit):
+                raise CompilationError(
+                    f"gate {name!r} references unplaced virtual qubit {qubit}"
+                )
+        total_swaps = 0
+        total_cost = 0.0
+        extra_latency = 0
+
+        if len(qubits) >= 2:
+            # Resolve connectivity pairwise against the last operand (the
+            # target): each control is routed next to the target in turn.
+            target = qubits[-1]
+            for control in qubits[:-1]:
+                result = self._resolve_pair(control, target)
+                total_swaps += len(result.swaps)
+                total_cost += result.cost_units
+                extra_latency += result.extra_latency
+
+        start = self.frontier_time(qubits) + extra_latency
+        duration = self.machine.gate_duration(name)
+        finish = start + duration
+        self._commit(name, qubits, start, finish, routed=False)
+        self.gate_count += 1
+        if len(qubits) >= 2:
+            self.two_qubit_gate_count += 1
+        self.comm_cost_total += total_cost
+        return GateExecution(start=start, finish=finish, swaps=total_swaps,
+                             comm_cost=total_cost)
+
+    # ------------------------------------------------------------------
+    def _resolve_pair(self, moving: int, stationary: int) -> CommunicationResult:
+        """Make ``moving`` adjacent to ``stationary``, applying swaps."""
+        site_a = self.layout.site_of(moving)
+        site_b = self.layout.site_of(stationary)
+        earliest = self.frontier_time((moving, stationary))
+        result = self.machine.resolve_interaction(site_a, site_b, earliest)
+        for step in result.swaps:
+            self._apply_swap(step.site_a, step.site_b)
+        return result
+
+    def _apply_swap(self, site_a: int, site_b: int) -> None:
+        """Swap the occupants of two adjacent sites and advance their clocks."""
+        occupant_a = self.layout.virtual_at(site_a)
+        occupant_b = self.layout.virtual_at(site_b)
+        involved = [q for q in (occupant_a, occupant_b) if q is not None]
+        start = max(
+            self.frontier_time(involved),
+            self._site_time.get(site_a, 0),
+            self._site_time.get(site_b, 0),
+        )
+        finish = start + self.machine.swap_duration
+        self.layout.swap(site_a, site_b)
+        for qubit in involved:
+            self._qubit_time[qubit] = finish
+            self.tracker.record_gate(qubit, start, finish)
+        self._site_time[site_a] = finish
+        self._site_time[site_b] = finish
+        self.makespan = max(self.makespan, finish)
+        self.swap_count += 1
+        if self._record:
+            self.events.append(ScheduledGate(
+                name="swap",
+                virtual_qubits=tuple(involved),
+                sites=(site_a, site_b),
+                start=start,
+                finish=finish,
+                routed=True,
+            ))
+
+    def _commit(self, name: str, qubits: Tuple[int, ...], start: int,
+                finish: int, routed: bool) -> None:
+        sites = tuple(self.layout.site_of(q) for q in qubits)
+        for qubit, site in zip(qubits, sites):
+            self._qubit_time[qubit] = finish
+            self._site_time[site] = finish
+            self.tracker.record_gate(qubit, start, finish)
+        self.makespan = max(self.makespan, finish)
+        if self._record:
+            self.events.append(ScheduledGate(
+                name=name,
+                virtual_qubits=qubits,
+                sites=sites,
+                start=start,
+                finish=finish,
+                routed=routed,
+            ))
+
+    # ------------------------------------------------------------------
+    def average_comm_cost(self) -> float:
+        """Mean communication cost units per two-qubit gate so far."""
+        if self.two_qubit_gate_count == 0:
+            return 0.0
+        return self.comm_cost_total / self.two_qubit_gate_count

@@ -1,0 +1,93 @@
+"""Benchmark workload library (Table II of the paper)."""
+
+from repro.workloads.arithmetic import (
+    adder4,
+    adder32,
+    adder64,
+    adder_program,
+    carry_chain_adder,
+)
+from repro.workloads.blocks import (
+    bitwise_and,
+    bitwise_xor,
+    full_adder,
+    half_adder,
+    majority_gate,
+    xor_copy,
+)
+from repro.workloads.crypto import (
+    salsa20_program,
+    salsa20_quarter_round,
+    sha2_program,
+    sha2_round,
+)
+from repro.workloads.modexp import controlled_modmul_step, modexp, modexp_program
+from repro.workloads.multiplier import (
+    mul32,
+    mul64,
+    multiplier_program,
+    shift_add_multiplier,
+)
+from repro.workloads.oracles import popcount5, popcount6, rd53, sym6, two_of_five
+from repro.workloads.registry import (
+    LARGE_BENCHMARKS,
+    NISQ_BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+)
+from repro.workloads.synthetic import (
+    SYNTHETIC_SPECS,
+    SyntheticGenerator,
+    SyntheticSpec,
+    belle,
+    belle_small,
+    elsa,
+    elsa_small,
+    jasmine,
+    jasmine_small,
+    synthetic_program,
+)
+
+__all__ = [
+    "LARGE_BENCHMARKS",
+    "NISQ_BENCHMARKS",
+    "SYNTHETIC_SPECS",
+    "SyntheticGenerator",
+    "SyntheticSpec",
+    "adder32",
+    "adder4",
+    "adder64",
+    "adder_program",
+    "belle",
+    "belle_small",
+    "benchmark_names",
+    "bitwise_and",
+    "bitwise_xor",
+    "carry_chain_adder",
+    "controlled_modmul_step",
+    "elsa",
+    "elsa_small",
+    "full_adder",
+    "half_adder",
+    "jasmine",
+    "jasmine_small",
+    "load_benchmark",
+    "majority_gate",
+    "modexp",
+    "modexp_program",
+    "mul32",
+    "mul64",
+    "multiplier_program",
+    "popcount5",
+    "popcount6",
+    "rd53",
+    "salsa20_program",
+    "salsa20_quarter_round",
+    "sha2_program",
+    "sha2_round",
+    "shift_add_multiplier",
+    "sym6",
+    "synthetic_program",
+    "two_of_five",
+    "xor_copy",
+]

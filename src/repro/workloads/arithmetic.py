@@ -1,0 +1,121 @@
+"""Reversible ripple-carry adders (ADDER4 / ADDER32 / ADDER64).
+
+The adders follow the carry-ripple structure of Vedral-Barenco-Ekert /
+Cuccaro adders ([63] in the paper) recast into the Compute-Store-Uncompute
+pattern: the Compute block ripples the carries into an ancilla register,
+the Store block writes the sum bits onto the output register (optionally
+under a control qubit, giving the "controlled-addition" of Table II), and
+the Uncompute block un-ripples the carries so the ancillas can be
+reclaimed.
+
+Note on the substitution: the paper's ADDERs are in-place; the in-place
+Cuccaro structure interleaves computation and uncomputation and therefore
+exposes no reclamation decision at all.  The out-of-place variant keeps
+the identical carry-chain gate structure and ancilla pressure while fitting
+the modular Compute-Store-Uncompute form the compiler optimises, which is
+what the evaluation exercises.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import IRError
+from repro.ir.program import Program, QModule
+
+
+def carry_chain_adder(width: int, controlled: bool = False,
+                      name: str | None = None) -> QModule:
+    """Build a ``width``-bit out-of-place (optionally controlled) adder.
+
+    Parameters of the returned module, in order:
+
+    * ``ctrl`` (only when ``controlled``) — addition happens when set;
+    * ``a[width]`` — first addend (unchanged);
+    * ``b[width]`` — second addend (unchanged);
+    * outputs ``sum[width + 1]`` — receives ``a + b`` (with carry-out).
+
+    The module allocates ``width`` carry ancillas.
+    """
+    if width < 1:
+        raise IRError("adder width must be at least 1")
+    num_inputs = (1 if controlled else 0) + 2 * width
+    module = QModule(
+        name or (f"ctrl_adder{width}" if controlled else f"adder{width}"),
+        num_inputs=num_inputs,
+        num_outputs=width + 1,
+        num_ancilla=width,
+    )
+    cursor = 0
+    ctrl = None
+    if controlled:
+        ctrl = module.inputs[0]
+        cursor = 1
+    a = module.inputs[cursor:cursor + width]
+    b = module.inputs[cursor + width:cursor + 2 * width]
+    out = module.outputs
+    carry = module.ancillas
+
+    # Compute: ripple the carries.  carry[i+1] = maj(a[i], b[i], carry[i]);
+    # as in the VBE adder, b[i] temporarily becomes a[i] ^ b[i].
+    module.begin_compute()
+    for i in range(width):
+        # carry[i] accumulates the carry *out of* bit i.
+        module.ccx(a[i], b[i], carry[i])
+        module.cx(a[i], b[i])
+        if i > 0:
+            module.ccx(carry[i - 1], b[i], carry[i])
+
+    # Store: sum[i] = a[i] ^ b[i] ^ carry[i-1]; at this point b[i] holds
+    # a[i] ^ b[i], so two CNOTs (or Toffolis when controlled) suffice.
+    module.begin_store()
+    for i in range(width):
+        if controlled:
+            module.ccx(ctrl, b[i], out[i])
+            if i > 0:
+                module.ccx(ctrl, carry[i - 1], out[i])
+        else:
+            module.cx(b[i], out[i])
+            if i > 0:
+                module.cx(carry[i - 1], out[i])
+    if controlled:
+        module.ccx(ctrl, carry[width - 1], out[width])
+    else:
+        module.cx(carry[width - 1], out[width])
+
+    # Uncompute is generated automatically as the inverse of Compute.
+    return module
+
+
+def adder_program(width: int, controlled: bool = True,
+                  name: str | None = None) -> Program:
+    """A whole-program wrapper: one top-level (controlled) addition.
+
+    The entry module allocates nothing itself; it simply calls the adder,
+    so the single reclamation decision sits one level below the top —
+    exactly the Figure 3 situation.
+    """
+    adder = carry_chain_adder(width, controlled=controlled)
+    num_inputs = (1 if controlled else 0) + 2 * width
+    entry = QModule(
+        name or f"adder{width}_main",
+        num_inputs=num_inputs,
+        num_outputs=width + 1,
+        num_ancilla=0,
+    )
+    entry.begin_compute()
+    entry.call(adder, *(entry.inputs + entry.outputs))
+    return Program(entry, name=name or (f"ADDER{width}" if controlled else f"ADD{width}"))
+
+
+def adder4(**kwargs) -> Program:
+    """ADDER4: 4-bit controlled addition (Table II)."""
+    return adder_program(4, controlled=True, name="ADDER4", **kwargs)
+
+
+def adder32() -> Program:
+    """ADDER32: 32-bit controlled addition (Table II)."""
+    return adder_program(32, controlled=True, name="ADDER32")
+
+
+def adder64() -> Program:
+    """ADDER64: 64-bit controlled addition (Table II)."""
+    return adder_program(64, controlled=True, name="ADDER64")

@@ -1,0 +1,100 @@
+"""Small reusable reversible building blocks.
+
+These leaf modules (full adder, half adder, majority, fan-out copy) have
+no ancilla of their own; they write their results onto parameter qubits
+supplied by the caller, which keeps the ancilla-management decisions in
+the calling (higher-level) modules where SQUARE makes them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.program import QModule
+
+
+@lru_cache(maxsize=None)
+def full_adder() -> QModule:
+    """Out-of-place full adder.
+
+    Parameters: inputs ``a, b, cin``; outputs ``sum_out, carry_out``.
+    ``sum_out ^= a ^ b ^ cin`` and ``carry_out ^= maj(a, b, cin)``; the
+    inputs are left untouched.
+    """
+    module = QModule("full_adder", num_inputs=3, num_outputs=2)
+    a, b, cin = module.inputs
+    sum_out, carry_out = module.outputs
+    module.begin_compute()
+    module.ccx(a, b, carry_out)
+    module.ccx(a, cin, carry_out)
+    module.ccx(b, cin, carry_out)
+    module.begin_store()
+    module.cx(a, sum_out)
+    module.cx(b, sum_out)
+    module.cx(cin, sum_out)
+    return module
+
+
+@lru_cache(maxsize=None)
+def half_adder() -> QModule:
+    """Out-of-place half adder.
+
+    Parameters: inputs ``a, b``; outputs ``sum_out, carry_out``.
+    """
+    module = QModule("half_adder", num_inputs=2, num_outputs=2)
+    a, b = module.inputs
+    sum_out, carry_out = module.outputs
+    module.begin_compute()
+    module.ccx(a, b, carry_out)
+    module.begin_store()
+    module.cx(a, sum_out)
+    module.cx(b, sum_out)
+    return module
+
+
+@lru_cache(maxsize=None)
+def majority_gate() -> QModule:
+    """Write the majority of three inputs onto an output qubit."""
+    module = QModule("majority", num_inputs=3, num_outputs=1)
+    a, b, c = module.inputs
+    out = module.outputs[0]
+    module.begin_compute()
+    module.ccx(a, b, out)
+    module.ccx(a, c, out)
+    module.ccx(b, c, out)
+    return module
+
+
+@lru_cache(maxsize=None)
+def xor_copy(width: int) -> QModule:
+    """XOR-copy a ``width``-bit register onto another (fan-out)."""
+    module = QModule(f"xor_copy_{width}", num_inputs=width, num_outputs=width)
+    module.begin_compute()
+    for source, target in zip(module.inputs, module.outputs):
+        module.cx(source, target)
+    return module
+
+
+@lru_cache(maxsize=None)
+def bitwise_and(width: int) -> QModule:
+    """Bitwise AND of two registers written onto an output register."""
+    module = QModule(f"and_{width}", num_inputs=2 * width, num_outputs=width)
+    a = module.inputs[:width]
+    b = module.inputs[width:]
+    module.begin_compute()
+    for bit_a, bit_b, out in zip(a, b, module.outputs):
+        module.ccx(bit_a, bit_b, out)
+    return module
+
+
+@lru_cache(maxsize=None)
+def bitwise_xor(width: int) -> QModule:
+    """Bitwise XOR of two registers written onto an output register."""
+    module = QModule(f"xor_{width}", num_inputs=2 * width, num_outputs=width)
+    a = module.inputs[:width]
+    b = module.inputs[width:]
+    module.begin_compute()
+    for bit_a, bit_b, out in zip(a, b, module.outputs):
+        module.cx(bit_a, out)
+        module.cx(bit_b, out)
+    return module

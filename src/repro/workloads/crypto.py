@@ -1,0 +1,233 @@
+"""Cryptographic workloads: SHA-2 round function and the Salsa20 core.
+
+SHA2 (Table II) is "multiple rounds of in-place modular additions and bit
+rotations"; Salsa20 is "20 rounds of 4 parallel modules", each modifying
+four words with additions, XORs and rotations.  Both are reproduced here
+at configurable word width and round count: the default word width (8
+bits) and round counts keep single compilations in the second range while
+preserving the modular structure — per-round modules calling adder
+sub-modules, ancilla registers for every intermediate word — that drives
+the ancilla-reuse behaviour the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import IRError
+from repro.ir.program import Program, QModule, Qubit
+from repro.workloads.arithmetic import carry_chain_adder
+
+
+def _xor_rotations(module: QModule, source: Sequence[Qubit],
+                   target: Sequence[Qubit], rotations: Sequence[int]) -> None:
+    """target ^= rot(source, r) for every r in rotations (bitwise CNOTs)."""
+    width = len(source)
+    for rotation in rotations:
+        for j in range(width):
+            module.cx(source[(j + rotation) % width], target[j])
+
+
+def sha2_round(word_width: int = 8) -> QModule:
+    """One SHA-256-style compression round at reduced word width.
+
+    Parameters: the eight working words ``a..h`` as inputs and two outputs
+    (the new ``a`` and new ``e`` words); the remaining words of the next
+    state are obtained by relabelling in the caller, exactly as in the
+    SHA-2 round permutation.
+    """
+    if word_width < 2:
+        raise IRError("word width must be at least 2")
+    w = word_width
+    module = QModule(f"sha2_round_{w}", num_inputs=8 * w, num_outputs=2 * w,
+                     num_ancilla=6 * w + 4 * (w + 1))
+    words = [module.inputs[i * w:(i + 1) * w] for i in range(8)]
+    a, b, c, d, e, f, g, h = words
+    new_a = module.outputs[:w]
+    new_e = module.outputs[w:]
+
+    ancillas = list(module.ancillas)
+
+    def take(count: int) -> List[Qubit]:
+        nonlocal ancillas
+        chunk, ancillas = ancillas[:count], ancillas[count:]
+        return chunk
+
+    ch = take(w)          # ch(e, f, g)
+    maj = take(w)         # maj(a, b, c)
+    sigma0 = take(w)      # big-sigma0(a)
+    sigma1 = take(w)      # big-sigma1(e)
+    t1 = take(w + 1)      # h + sigma1 + ch   (carry-out bit included)
+    t2 = take(w + 1)      # sigma0 + maj
+    sum_he = take(w)      # h + sigma1 partial operand register
+    sum_am = take(w)      # sigma0 operand copy for t2
+
+    adder = carry_chain_adder(w, controlled=False, name=f"adder{w}_sha2")
+
+    module.begin_compute()
+    # ch(e, f, g) = (e & f) ^ (~e & g)
+    for j in range(w):
+        module.ccx(e[j], f[j], ch[j])
+        module.x(e[j])
+        module.ccx(e[j], g[j], ch[j])
+        module.x(e[j])
+    # maj(a, b, c)
+    for j in range(w):
+        module.ccx(a[j], b[j], maj[j])
+        module.ccx(a[j], c[j], maj[j])
+        module.ccx(b[j], c[j], maj[j])
+    # big-sigma0(a) and big-sigma1(e) (rotation amounts reduced mod width).
+    _xor_rotations(module, a, sigma0, (2, 13, 22))
+    _xor_rotations(module, e, sigma1, (6, 11, 25))
+    # sum_he = h ^ sigma1 folded operand, sum_am = sigma0 ^ maj operand.
+    for j in range(w):
+        module.cx(h[j], sum_he[j])
+        module.cx(sigma1[j], sum_he[j])
+        module.cx(sigma0[j], sum_am[j])
+    # t1 = sum_he + ch ;  t2 = sum_am + maj.
+    module.call(adder, *(list(sum_he) + list(ch) + list(t1)))
+    module.call(adder, *(list(sum_am) + list(maj) + list(t2)))
+
+    # Store: new_a = t1 ^ t2 (folded addition), new_e = d ^ t1.
+    module.begin_store()
+    for j in range(w):
+        module.cx(t1[j], new_a[j])
+        module.cx(t2[j], new_a[j])
+        module.cx(d[j], new_e[j])
+        module.cx(t1[j], new_e[j])
+    return module
+
+
+def sha2_program(word_width: int = 8, rounds: int = 4,
+                 name: str | None = None) -> Program:
+    """SHA2: ``rounds`` compression rounds chained by the state permutation."""
+    if rounds < 1:
+        raise IRError("rounds must be at least 1")
+    w = word_width
+    round_module = sha2_round(w)
+    entry = QModule(
+        "sha2_main",
+        num_inputs=8 * w,
+        num_outputs=2 * w,
+        num_ancilla=2 * w * rounds,
+    )
+    state = [list(entry.inputs[i * w:(i + 1) * w]) for i in range(8)]
+    ancillas = list(entry.ancillas)
+    fresh = [ancillas[i * w:(i + 1) * w] for i in range(2 * rounds)]
+
+    entry.begin_compute()
+    for r in range(rounds):
+        new_a = fresh[2 * r]
+        new_e = fresh[2 * r + 1]
+        args: List[Qubit] = []
+        for word in state:
+            args.extend(word)
+        args.extend(new_a)
+        args.extend(new_e)
+        entry.call(round_module, *args)
+        a, b, c, d, e, f, g, h = state
+        # SHA-2 state rotation: (a,b,c,d,e,f,g,h) <- (T, a, b, c, T', e, f, g)
+        state = [list(new_a), a, b, c, list(new_e), e, f, g]
+
+    entry.begin_store()
+    final_a, final_e = state[0], state[4]
+    for j in range(w):
+        entry.cx(final_a[j], entry.outputs[j])
+        entry.cx(final_e[j], entry.outputs[w + j])
+    return Program(entry, name=name or "SHA2")
+
+
+def salsa20_quarter_round(word_width: int = 8) -> QModule:
+    """The Salsa20 quarter-round on four words (reduced width).
+
+    ``b ^= rotl(a + d, 7); c ^= rotl(b + a, 9); d ^= rotl(c + b, 13);
+    a ^= rotl(d + c, 18)`` — here each ``x + y`` is an out-of-place adder
+    into an ancilla word and the rotated XOR lands on an output word.
+    """
+    if word_width < 2:
+        raise IRError("word width must be at least 2")
+    w = word_width
+    module = QModule(f"salsa_qr_{w}", num_inputs=4 * w, num_outputs=4 * w,
+                     num_ancilla=4 * (w + 1))
+    a = module.inputs[0 * w:1 * w]
+    b = module.inputs[1 * w:2 * w]
+    c = module.inputs[2 * w:3 * w]
+    d = module.inputs[3 * w:4 * w]
+    out = [module.outputs[i * w:(i + 1) * w] for i in range(4)]
+    ancillas = list(module.ancillas)
+    sums = [ancillas[i * (w + 1):(i + 1) * (w + 1)] for i in range(4)]
+    rotations = (7, 9, 13, 18)
+
+    adder = carry_chain_adder(w, controlled=False, name=f"adder{w}_salsa")
+
+    module.begin_compute()
+    module.call(adder, *(list(a) + list(d) + sums[0]))
+    module.call(adder, *(list(b) + list(a) + sums[1]))
+    module.call(adder, *(list(c) + list(b) + sums[2]))
+    module.call(adder, *(list(d) + list(c) + sums[3]))
+
+    module.begin_store()
+    sources = (b, c, d, a)
+    for index, (source, rotation) in enumerate(zip(sources, rotations)):
+        target = out[index]
+        # out_i = source_i ^ rotl(sum_i, rotation)
+        for j in range(w):
+            module.cx(source[j], target[j])
+            module.cx(sums[index][(j + rotation) % w], target[j])
+    return module
+
+
+def salsa20_program(word_width: int = 8, rounds: int = 4,
+                    name: str | None = None) -> Program:
+    """SALSA20: ``rounds`` rounds of four parallel quarter-round modules.
+
+    The sixteen-word state is processed column-wise; the four quarter-round
+    calls in each round touch disjoint words and can therefore execute in
+    parallel, which is exactly the parallelism the paper's Salsa20
+    benchmark exposes.
+    """
+    if rounds < 1:
+        raise IRError("rounds must be at least 1")
+    w = word_width
+    quarter = salsa20_quarter_round(w)
+    entry = QModule(
+        "salsa20_main",
+        num_inputs=16 * w,
+        num_outputs=4 * w,
+        num_ancilla=16 * w * rounds,
+    )
+    state = [list(entry.inputs[i * w:(i + 1) * w]) for i in range(16)]
+    ancillas = list(entry.ancillas)
+    cursor = 0
+
+    def fresh_word() -> List[Qubit]:
+        nonlocal cursor
+        word = ancillas[cursor:cursor + w]
+        cursor += w
+        return word
+
+    # Salsa20 column groups (indices into the 4x4 state).
+    columns = [(0, 4, 8, 12), (5, 9, 13, 1), (10, 14, 2, 6), (15, 3, 7, 11)]
+
+    entry.begin_compute()
+    for _ in range(rounds):
+        next_state = [list(word) for word in state]
+        for group in columns:
+            outputs = [fresh_word() for _ in range(4)]
+            args: List[Qubit] = []
+            for index in group:
+                args.extend(state[index])
+            for word in outputs:
+                args.extend(word)
+            entry.call(quarter, *args)
+            for slot, word in zip(group, outputs):
+                next_state[slot] = word
+        state = next_state
+
+    entry.begin_store()
+    for j in range(w):
+        entry.cx(state[0][j], entry.outputs[j])
+        entry.cx(state[5][j], entry.outputs[w + j])
+        entry.cx(state[10][j], entry.outputs[2 * w + j])
+        entry.cx(state[15][j], entry.outputs[3 * w + j])
+    return Program(entry, name=name or "SALSA20")

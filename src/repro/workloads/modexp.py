@@ -1,0 +1,121 @@
+"""Modular-exponentiation-style workload (MODEXP, Table II and Figure 1).
+
+Shor's algorithm spends almost all of its time in modular exponentiation,
+a deeply nested reversible structure: for every exponent bit a controlled
+modular multiplication, each built from multiplications, each built from
+additions.  This module reproduces that *structure* — the call-graph
+depth, the per-level ancilla registers, and the controlled data flow —
+which is what drives the allocation/reclamation behaviour evaluated in
+Figure 1 and Figures 9/10.
+
+Substitution note: a bit-exact modular reduction circuit (comparator +
+conditional subtraction) would roughly double the code without changing
+the resource profile; here the reduction step folds the high half of the
+double-width product into the low half with CNOTs (a fixed linear
+"pseudo-reduction").  The workload is still a valid reversible circuit
+with clean ancillas; only the arithmetic interpretation of the output is
+simplified, which the resource-focused experiments never rely on.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import IRError
+from repro.ir.program import Program, QModule
+from repro.workloads.multiplier import shift_add_multiplier
+
+
+def controlled_modmul_step(width: int, name: str | None = None) -> QModule:
+    """One controlled modular-multiplication (squaring) step.
+
+    Parameters: ``ctrl``, value register ``v[width]``; outputs
+    ``next_v[width]``.  When the control is set the output receives the
+    pseudo-reduced square of ``v``; otherwise it receives ``v`` unchanged,
+    mirroring the controlled-multiplier step of modular exponentiation.
+    """
+    if width < 2:
+        raise IRError("modular multiplication width must be at least 2")
+    product_width = 2 * width
+    # Ancillas: a copy of v (so the multiplier sees two distinct operand
+    # registers) plus the double-width product register.
+    num_ancilla = width + product_width
+    module = QModule(
+        name or f"cmodmul{width}",
+        num_inputs=1 + width,
+        num_outputs=width,
+        num_ancilla=num_ancilla,
+    )
+    ctrl = module.inputs[0]
+    value = module.inputs[1:1 + width]
+    next_value = module.outputs
+    copy = module.ancillas[:width]
+    product = module.ancillas[width:width + product_width]
+
+    multiplier = shift_add_multiplier(width, controlled=False,
+                                      name=f"mul{width}_modexp")
+
+    # Compute: copy v, form the full square v * v into the product register.
+    module.begin_compute()
+    for j in range(width):
+        module.cx(value[j], copy[j])
+    module.call(multiplier, *(list(value) + list(copy) + list(product)))
+
+    # Store: pseudo-reduce the product into the output under the control;
+    # when the control is clear, pass the value through unchanged.
+    module.begin_store()
+    for j in range(width):
+        module.ccx(ctrl, product[j], next_value[j])
+        module.ccx(ctrl, product[j + width], next_value[j])
+        # ctrl == 0: next_v = v  (X-conjugated control).
+    module.x(ctrl)
+    for j in range(width):
+        module.ccx(ctrl, value[j], next_value[j])
+    module.x(ctrl)
+    return module
+
+
+def modexp_program(width: int = 4, exponent_bits: int = 4,
+                   name: str | None = None) -> Program:
+    """Modular-exponentiation workload.
+
+    Args:
+        width: Bit width of the value registers (the paper's MODEXP works
+            on cryptographically sized registers; the default keeps the
+            laptop-scale run tractable and is configurable upward).
+        exponent_bits: Number of controlled multiplication stages.
+    """
+    if exponent_bits < 1:
+        raise IRError("exponent_bits must be at least 1")
+    step = controlled_modmul_step(width)
+    # Entry: exponent bits + initial value in, final value out; one
+    # intermediate value register per stage lives on ancilla.
+    num_ancilla = width * exponent_bits
+    entry = QModule(
+        "modexp_main",
+        num_inputs=exponent_bits + width,
+        num_outputs=width,
+        num_ancilla=num_ancilla,
+    )
+    exponent = entry.inputs[:exponent_bits]
+    value = entry.inputs[exponent_bits:]
+    outputs = entry.outputs
+    ancillas = list(entry.ancillas)
+    stages = [ancillas[i * width:(i + 1) * width] for i in range(exponent_bits)]
+
+    entry.begin_compute()
+    current = list(value)
+    for i in range(exponent_bits):
+        target = stages[i]
+        entry.call(step, exponent[i], *(current + target))
+        current = target
+
+    # Store: copy the final stage register onto the program outputs; the
+    # top-level uncompute then cleans every intermediate stage register.
+    entry.begin_store()
+    for source, target in zip(current, outputs):
+        entry.cx(source, target)
+    return Program(entry, name=name or "MODEXP")
+
+
+def modexp(width: int = 4, exponent_bits: int = 4) -> Program:
+    """MODEXP with default laptop-scale parameters (Table II)."""
+    return modexp_program(width=width, exponent_bits=exponent_bits)

@@ -1,0 +1,112 @@
+"""Out-of-place controlled multipliers (MUL32 / MUL64, Table II).
+
+The multiplier is a shift-and-add structure: each partial product
+``a_i * (b << i)`` is written into an ancilla register with Toffoli gates
+and accumulated with the carry-chain adder of
+:mod:`repro.workloads.arithmetic`.  All intermediate registers (partial
+products, running accumulators, adder carries) are ancilla, giving the
+multi-level call structure — multiplier → adder — whose reclamation
+decisions the paper's Figures 9 and 10 evaluate.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import IRError
+from repro.ir.program import Program, QModule
+from repro.workloads.arithmetic import carry_chain_adder
+
+
+def shift_add_multiplier(width: int, controlled: bool = True,
+                         name: str | None = None) -> QModule:
+    """Build a ``width x width -> 2*width``-bit out-of-place multiplier.
+
+    Parameters of the returned module, in order:
+
+    * ``ctrl`` (only when ``controlled``) — product is produced when set;
+    * ``a[width]``, ``b[width]`` — the factors (unchanged);
+    * outputs ``p[2*width]`` — receives ``a * b`` (or 0 when control clear).
+
+    Ancillas: one ``2*width``-bit register per partial product and one
+    ``2*width + 1``-bit running accumulator per addition step, plus the
+    carry ancillas allocated inside each adder call.
+    """
+    if width < 2:
+        raise IRError("multiplier width must be at least 2")
+    product_width = 2 * width
+    num_inputs = (1 if controlled else 0) + 2 * width
+    # Ancilla layout: width partial-product registers of product_width bits,
+    # then (width - 1) accumulator registers of (product_width + 1) bits.
+    num_ancilla = width * product_width + (width - 1) * (product_width + 1)
+    module = QModule(
+        name or (f"ctrl_mul{width}" if controlled else f"mul{width}"),
+        num_inputs=num_inputs,
+        num_outputs=product_width,
+        num_ancilla=num_ancilla,
+    )
+    cursor = 0
+    ctrl = None
+    if controlled:
+        ctrl = module.inputs[0]
+        cursor = 1
+    a = module.inputs[cursor:cursor + width]
+    b = module.inputs[cursor + width:cursor + 2 * width]
+    outputs = module.outputs
+
+    ancillas = list(module.ancillas)
+    partial = [ancillas[i * product_width:(i + 1) * product_width]
+               for i in range(width)]
+    offset = width * product_width
+    acc_width = product_width + 1
+    accumulators = [
+        ancillas[offset + i * acc_width: offset + (i + 1) * acc_width]
+        for i in range(width - 1)
+    ]
+
+    adder = carry_chain_adder(product_width, controlled=False,
+                              name=f"adder{product_width}_mul")
+
+    # Compute: partial products, then ripple-accumulate them.
+    module.begin_compute()
+    for i in range(width):
+        for j in range(width):
+            module.ccx(a[i], b[j], partial[i][i + j])
+    running = partial[0]
+    for i in range(1, width):
+        target = accumulators[i - 1]
+        module.call(adder, *(running + partial[i] + target))
+        running = target[:product_width]
+
+    # Store: copy (optionally controlled) the final accumulator to the output.
+    module.begin_store()
+    for j in range(product_width):
+        if controlled:
+            module.ccx(ctrl, running[j], outputs[j])
+        else:
+            module.cx(running[j], outputs[j])
+    return module
+
+
+def multiplier_program(width: int, controlled: bool = True,
+                       name: str | None = None) -> Program:
+    """Wrap a multiplier as a whole program with a thin entry module."""
+    mul = shift_add_multiplier(width, controlled=controlled)
+    num_inputs = (1 if controlled else 0) + 2 * width
+    entry = QModule(
+        f"mul{width}_main",
+        num_inputs=num_inputs,
+        num_outputs=2 * width,
+        num_ancilla=0,
+    )
+    entry.begin_compute()
+    entry.call(mul, *(entry.inputs + entry.outputs))
+    return Program(entry, name=name or f"MUL{width}")
+
+
+def mul32(width: int = 32) -> Program:
+    """MUL32: 32-bit out-of-place controlled multiplier (Table II)."""
+    return multiplier_program(width, controlled=True, name="MUL32")
+
+
+def mul64(width: int = 64) -> Program:
+    """MUL64: 64-bit out-of-place controlled multiplier (Table II)."""
+    return multiplier_program(width, controlled=True, name="MUL64")

@@ -1,0 +1,137 @@
+"""Small reversible oracle benchmarks: RD53, 6SYM and 2OF5 (Table II).
+
+All three are symmetric functions of their inputs, built from a shared
+population-count submodule (a carry-save tree of full/half adders) whose
+intermediate sums live on ancilla qubits — the classic pattern that makes
+ancilla reclamation worthwhile even at NISQ scale.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program, QModule
+from repro.workloads.blocks import full_adder, half_adder
+
+
+def popcount5() -> QModule:
+    """Population count of 5 bits into a 3-bit result (used by RD53/2OF5).
+
+    Parameters: inputs ``x[5]``; outputs ``w[3]`` receiving the binary
+    weight.  Uses 4 ancillas for the intermediate carry-save sums.
+    """
+    module = QModule("popcount5", num_inputs=5, num_outputs=3, num_ancilla=4)
+    x = module.inputs
+    w = module.outputs
+    s1, k1, s2, k2 = module.ancillas
+
+    fa = full_adder()
+
+    # Compute: x0+x1+x2 = s1 + 2*k1 ; x3+x4+s1 = s2 + 2*k2.
+    module.begin_compute()
+    module.call(fa, x[0], x[1], x[2], s1, k1)
+    module.call(fa, x[3], x[4], s1, s2, k2)
+
+    # Store: weight = s2 + 2*(k1 + k2); k1 + k2 = (k1 ^ k2) + 2*(k1 & k2).
+    module.begin_store()
+    module.cx(s2, w[0])
+    module.cx(k1, w[1])
+    module.cx(k2, w[1])
+    module.ccx(k1, k2, w[2])
+    return module
+
+
+def popcount6() -> QModule:
+    """Population count of 6 bits into a 3-bit result (used by 6SYM).
+
+    Parameters: inputs ``x[6]``; outputs ``w[3]``.  Uses 6 ancillas.
+    """
+    module = QModule("popcount6", num_inputs=6, num_outputs=3, num_ancilla=6)
+    x = module.inputs
+    w = module.outputs
+    s1, k1, s2, k2, s3, k3 = module.ancillas
+
+    fa = full_adder()
+    ha = half_adder()
+
+    # Compute: two full adders over the six bits, then combine the carries.
+    module.begin_compute()
+    module.call(fa, x[0], x[1], x[2], s1, k1)
+    module.call(fa, x[3], x[4], x[5], s2, k2)
+    # s1 + s2 = s3 + 2*k3 (ones place of the total).
+    module.call(ha, s1, s2, s3, k3)
+
+    # Store: weight = s3 + 2*(k1 + k2 + k3); the twos place can carry into
+    # the fours place, so fold the three carry bits with Toffoli logic.
+    module.begin_store()
+    module.cx(s3, w[0])
+    module.cx(k1, w[1])
+    module.cx(k2, w[1])
+    module.cx(k3, w[1])
+    module.ccx(k1, k2, w[2])
+    module.ccx(k1, k3, w[2])
+    module.ccx(k2, k3, w[2])
+    return module
+
+
+def rd53() -> Program:
+    """RD53: weight function with 5 inputs and 3 outputs (Table II)."""
+    counter = popcount5()
+    entry = QModule("rd53_main", num_inputs=5, num_outputs=3, num_ancilla=0)
+    entry.begin_compute()
+    entry.call(counter, *(entry.inputs + entry.outputs))
+    return Program(entry, name="RD53")
+
+
+def sym6() -> Program:
+    """6SYM: symmetric function of 6 inputs, 1 output (Table II).
+
+    The output is 1 exactly when the input weight is 2, 3 or 4 — the
+    standard ``sym6`` benchmark definition.
+    """
+    counter = popcount6()
+    entry = QModule("sym6_main", num_inputs=6, num_outputs=1, num_ancilla=6)
+    x = entry.inputs
+    out = entry.outputs[0]
+    w0, w1, w2, t_mid, u, t_four = entry.ancillas
+
+    entry.begin_compute()
+    entry.call(counter, x[0], x[1], x[2], x[3], x[4], x[5], w0, w1, w2)
+    # weight in {2, 3}: binary 01x  ->  t_mid = ~w2 & w1.
+    entry.x(w2)
+    entry.ccx(w2, w1, t_mid)
+    entry.x(w2)
+    # weight == 4: binary 100  ->  t_four = w2 & ~w1 & ~w0, via u = w2 & ~w1.
+    entry.x(w1)
+    entry.ccx(w2, w1, u)
+    entry.x(w1)
+    entry.x(w0)
+    entry.ccx(u, w0, t_four)
+    entry.x(w0)
+
+    # The two weight ranges are disjoint, so XOR-ing both flags gives the OR.
+    entry.begin_store()
+    entry.cx(t_mid, out)
+    entry.cx(t_four, out)
+    return Program(entry, name="6SYM")
+
+
+def two_of_five() -> Program:
+    """2OF5: output 1 iff exactly two of the five inputs are 1 (Table II)."""
+    counter = popcount5()
+    entry = QModule("two_of_five_main", num_inputs=5, num_outputs=1, num_ancilla=5)
+    x = entry.inputs
+    out = entry.outputs[0]
+    w0, w1, w2, u, t = entry.ancillas
+
+    entry.begin_compute()
+    entry.call(counter, x[0], x[1], x[2], x[3], x[4], w0, w1, w2)
+    # weight == 2: binary 010  ->  t = ~w2 & w1 & ~w0, via u = ~w2 & w1.
+    entry.x(w2)
+    entry.ccx(w2, w1, u)
+    entry.x(w2)
+    entry.x(w0)
+    entry.ccx(u, w0, t)
+    entry.x(w0)
+
+    entry.begin_store()
+    entry.cx(t, out)
+    return Program(entry, name="2OF5")

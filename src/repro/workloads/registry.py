@@ -1,0 +1,87 @@
+"""Benchmark registry: every workload of Table II by name.
+
+The registry maps benchmark names to zero-argument factories producing
+:class:`~repro.ir.program.Program` objects, with optional keyword
+overrides (register widths, round counts) for scaling experiments up or
+down.  ``NISQ_BENCHMARKS`` and ``LARGE_BENCHMARKS`` reproduce the two
+benchmark groups used in Sections V-C and V-D/V-E respectively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ExperimentError
+from repro.ir.program import Program
+from repro.workloads.arithmetic import adder4, adder32, adder64, adder_program
+from repro.workloads.crypto import salsa20_program, sha2_program
+from repro.workloads.modexp import modexp_program
+from repro.workloads.multiplier import multiplier_program
+from repro.workloads.oracles import rd53, sym6, two_of_five
+from repro.workloads.synthetic import synthetic_program
+
+#: Small benchmarks used for the NISQ experiments (Table III, Figure 8).
+NISQ_BENCHMARKS: List[str] = [
+    "RD53", "6SYM", "2OF5", "ADDER4", "jasmine-s", "elsa-s", "belle-s",
+]
+
+#: Medium/large benchmarks used for the NISQ-FT boundary (Figure 9) and FT
+#: (Figure 10) experiments.
+LARGE_BENCHMARKS: List[str] = [
+    "ADDER32", "ADDER64", "MUL32", "MUL64", "MODEXP", "SHA2", "SALSA20",
+    "Jasmine", "Elsa", "Belle",
+]
+
+_FACTORIES: Dict[str, Callable[..., Program]] = {
+    "rd53": lambda: rd53(),
+    "6sym": lambda: sym6(),
+    "2of5": lambda: two_of_five(),
+    "adder4": lambda: adder4(),
+    "adder32": lambda width=32: adder_program(width, controlled=True, name="ADDER32"),
+    "adder64": lambda width=64: adder_program(width, controlled=True, name="ADDER64"),
+    "mul32": lambda width=32: multiplier_program(width, controlled=True, name="MUL32"),
+    "mul64": lambda width=64: multiplier_program(width, controlled=True, name="MUL64"),
+    "modexp": lambda width=4, exponent_bits=4: modexp_program(
+        width=width, exponent_bits=exponent_bits),
+    "sha2": lambda word_width=8, rounds=4: sha2_program(
+        word_width=word_width, rounds=rounds),
+    "salsa20": lambda word_width=8, rounds=4: salsa20_program(
+        word_width=word_width, rounds=rounds),
+    "jasmine-s": lambda: synthetic_program("jasmine-s"),
+    "elsa-s": lambda: synthetic_program("elsa-s"),
+    "belle-s": lambda: synthetic_program("belle-s"),
+    "jasmine": lambda: synthetic_program("jasmine"),
+    "elsa": lambda: synthetic_program("elsa"),
+    "belle": lambda: synthetic_program("belle"),
+}
+
+
+def benchmark_names() -> List[str]:
+    """Every registered benchmark name (canonical capitalisation)."""
+    return NISQ_BENCHMARKS + LARGE_BENCHMARKS
+
+
+def load_benchmark(name: str, **overrides) -> Program:
+    """Build the named benchmark program.
+
+    Args:
+        name: Benchmark name (case insensitive), e.g. ``"ADDER4"``.
+        overrides: Optional size overrides forwarded to the factory
+            (e.g. ``width=16`` for the multipliers, ``rounds=2`` for SHA2).
+
+    Raises:
+        ExperimentError: If the name is unknown or the overrides do not
+            apply to that benchmark.
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise ExperimentError(
+            f"unknown benchmark {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    factory = _FACTORIES[key]
+    try:
+        return factory(**overrides)
+    except TypeError as error:
+        raise ExperimentError(
+            f"benchmark {name!r} does not accept overrides {overrides}: {error}"
+        ) from None

@@ -1,0 +1,193 @@
+"""Parameterised synthetic benchmarks (Jasmine, Elsa, Belle and -s variants).
+
+Section V-A of the paper constructs random synthetic circuits whose
+program call graphs are controlled by five parameters: number of nested
+levels, maximum callees per function, maximum input qubits per function,
+maximum ancilla qubits per function and maximum gates per function.  The
+three named instances differ in shape:
+
+* **Jasmine** — shallowly nested, balanced workload;
+* **Elsa**    — heavy per-function workload, shallowly nested;
+* **Belle**   — light per-function workload, deeply nested.
+
+The ``-s`` variants are small/shallow versions that fit the sub-20-qubit
+NISQ machines of Table III and Figure 8.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import IRError
+from repro.ir.program import Program, QModule, Qubit
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Shape parameters of a synthetic benchmark (Section V-A).
+
+    Attributes:
+        name: Benchmark name used in reports.
+        levels: Number of nested levels in the call graph.
+        max_callees: Maximum child calls per function.
+        max_inputs: Maximum input (parameter) qubits per function.
+        max_ancilla: Maximum ancilla qubits per function.
+        max_gates: Maximum gates per function body.
+        seed: RNG seed so each named benchmark is reproducible.
+    """
+
+    name: str
+    levels: int
+    max_callees: int
+    max_inputs: int
+    max_ancilla: int
+    max_gates: int
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise IRError("levels must be at least 1")
+        if self.max_inputs < 2:
+            raise IRError("max_inputs must be at least 2")
+        if self.max_ancilla < 1:
+            raise IRError("max_ancilla must be at least 1")
+        if self.max_gates < 1:
+            raise IRError("max_gates must be at least 1")
+
+
+#: The six named synthetic benchmarks of Table II.
+SYNTHETIC_SPECS = {
+    "jasmine-s": SyntheticSpec("jasmine-s", levels=3, max_callees=2,
+                               max_inputs=4, max_ancilla=2, max_gates=8, seed=11),
+    "elsa-s": SyntheticSpec("elsa-s", levels=2, max_callees=2,
+                            max_inputs=5, max_ancilla=3, max_gates=14, seed=12),
+    "belle-s": SyntheticSpec("belle-s", levels=4, max_callees=1,
+                             max_inputs=3, max_ancilla=2, max_gates=5, seed=13),
+    "jasmine": SyntheticSpec("jasmine", levels=3, max_callees=3,
+                             max_inputs=12, max_ancilla=8, max_gates=40, seed=21),
+    "elsa": SyntheticSpec("elsa", levels=2, max_callees=4,
+                          max_inputs=16, max_ancilla=12, max_gates=120, seed=22),
+    "belle": SyntheticSpec("belle", levels=7, max_callees=2,
+                           max_inputs=8, max_ancilla=4, max_gates=12, seed=23),
+}
+
+
+class SyntheticGenerator:
+    """Generates a random modular reversible program from a spec."""
+
+    def __init__(self, spec: SyntheticSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Program:
+        """Build the program: one random module tree rooted at the entry."""
+        entry = self._build_module(level=0)
+        return Program(entry, name=self.spec.name)
+
+    # ------------------------------------------------------------------
+    def _build_module(self, level: int, max_inputs: Optional[int] = None) -> QModule:
+        spec = self.spec
+        rng = self._rng
+        self._counter += 1
+        input_cap = min(spec.max_inputs, max_inputs) if max_inputs else spec.max_inputs
+        num_inputs = rng.randint(2, max(2, input_cap))
+        num_ancilla = rng.randint(1, spec.max_ancilla)
+        module = QModule(
+            f"{spec.name}_f{self._counter}_l{level}",
+            num_inputs=num_inputs,
+            num_outputs=1,
+            num_ancilla=num_ancilla,
+        )
+        locals_pool: List[Qubit] = list(module.inputs) + list(module.ancillas)
+
+        # Children are generated with a parameter count that fits this
+        # module's local pool, so deep nesting never degenerates.
+        children: List[QModule] = []
+        if level + 1 < spec.levels and len(locals_pool) >= 3:
+            num_children = rng.randint(1, spec.max_callees)
+            for _ in range(num_children):
+                child = self._build_module(level + 1,
+                                           max_inputs=len(locals_pool) - 1)
+                if child.num_params <= len(locals_pool):
+                    children.append(child)
+
+        module.begin_compute()
+        num_gates = rng.randint(max(1, spec.max_gates // 2), spec.max_gates)
+        call_positions = set()
+        if children:
+            call_positions = set(
+                rng.sample(range(num_gates), k=min(len(children), num_gates))
+            )
+        child_iter = iter(children)
+        for position in range(num_gates):
+            if position in call_positions:
+                child = next(child_iter)
+                args = rng.sample(locals_pool, k=child.num_params)
+                module.call(child, *args)
+            else:
+                self._random_gate(module, locals_pool)
+
+        # Store: fold one or two ancilla results onto the output qubit.
+        module.begin_store()
+        sources = rng.sample(list(module.ancillas),
+                             k=min(2, len(module.ancillas)))
+        for source in sources:
+            module.cx(source, module.outputs[0])
+        return module
+
+    def _random_gate(self, module: QModule, pool: List[Qubit]) -> None:
+        rng = self._rng
+        choice = rng.random()
+        if choice < 0.25 or len(pool) < 2:
+            module.x(rng.choice(pool))
+        elif choice < 0.65 or len(pool) < 3:
+            a, b = rng.sample(pool, k=2)
+            module.cx(a, b)
+        else:
+            a, b, c = rng.sample(pool, k=3)
+            module.ccx(a, b, c)
+
+
+def synthetic_program(name: str) -> Program:
+    """Build one of the named synthetic benchmarks of Table II."""
+    key = name.lower()
+    if key not in SYNTHETIC_SPECS:
+        raise IRError(
+            f"unknown synthetic benchmark {name!r}; "
+            f"choose from {sorted(SYNTHETIC_SPECS)}"
+        )
+    return SyntheticGenerator(SYNTHETIC_SPECS[key]).generate()
+
+
+def jasmine_small() -> Program:
+    """Jasmine-s: small shallowly nested synthetic benchmark."""
+    return synthetic_program("jasmine-s")
+
+
+def elsa_small() -> Program:
+    """Elsa-s: small heavy-workload synthetic benchmark."""
+    return synthetic_program("elsa-s")
+
+
+def belle_small() -> Program:
+    """Belle-s: small deeply nested synthetic benchmark."""
+    return synthetic_program("belle-s")
+
+
+def jasmine() -> Program:
+    """Jasmine: shallowly nested synthetic benchmark."""
+    return synthetic_program("jasmine")
+
+
+def elsa() -> Program:
+    """Elsa: heavy-workload, shallowly nested synthetic benchmark."""
+    return synthetic_program("elsa")
+
+
+def belle() -> Program:
+    """Belle: light-workload, deeply nested synthetic benchmark."""
+    return synthetic_program("belle")

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.arch.nisq import NISQMachine
+from repro.ir.builder import ModuleBuilder
+from repro.ir.program import Program, QModule
+
+
+def build_fun1() -> QModule:
+    """The example function of Figure 6 (one ancilla, explicit-style blocks)."""
+    builder = ModuleBuilder("fun1", num_inputs=3, num_outputs=1, num_ancilla=1)
+    i, o, a = builder.inputs, builder.outputs, builder.ancillas
+    with builder.compute():
+        builder.ccx(i[0], i[1], i[2])
+        builder.cx(i[2], a[0])
+        builder.ccx(i[1], i[0], a[0])
+    with builder.store():
+        builder.cx(a[0], o[0])
+    return builder.build()
+
+
+def build_two_level_program() -> Program:
+    """A two-level modular program in the shape of Figure 3."""
+    fun1 = build_fun1()
+    top = QModule("main", num_inputs=3, num_outputs=2, num_ancilla=1)
+    ti, to, ta = top.inputs, top.outputs, top.ancillas
+    top.call(fun1, ti[0], ti[1], ti[2], ta[0])
+    top.cx(ti[0], ta[0])
+    top.begin_store()
+    top.cx(ta[0], to[0])
+    top.cx(ta[0], to[1])
+    return Program(top, name="two-level")
+
+
+@pytest.fixture
+def fun1_module() -> QModule:
+    """Fresh fun1 module."""
+    return build_fun1()
+
+
+@pytest.fixture
+def two_level_program() -> Program:
+    """Fresh two-level program."""
+    return build_two_level_program()
+
+
+@pytest.fixture
+def small_grid_machine() -> NISQMachine:
+    """A 4x4 lattice NISQ machine."""
+    return NISQMachine.grid(4, 4)
+
+
+def all_basis_inputs(width: int):
+    """Every basis-state input of the given width."""
+    return itertools.product([0, 1], repeat=width)

@@ -1,0 +1,112 @@
+"""Tests for the allocation policies (LIFO baseline and LAA)."""
+
+import pytest
+
+from repro.exceptions import ResourceExhaustedError
+from repro.arch.nisq import NISQMachine
+from repro.core.allocation import (
+    AllocationRequest,
+    LifoAllocation,
+    LocalityAwareAllocation,
+)
+from repro.core.heap import AncillaHeap
+from repro.scheduler.asap import GateScheduler
+
+
+def _environment(grid=3, placed=()):
+    machine = NISQMachine.grid(grid, grid)
+    scheduler = GateScheduler(machine)
+    heap = AncillaHeap()
+    counter = [0]
+    for virtual, site in placed:
+        scheduler.register_qubit(virtual, site)
+        counter[0] = max(counter[0], virtual + 1)
+
+    def create_qubit(site: int) -> int:
+        virtual = counter[0]
+        counter[0] += 1
+        scheduler.register_qubit(virtual, site)
+        return virtual
+
+    return machine, scheduler, heap, create_qubit
+
+
+def _request(scheduler, heap, create_qubit, count=1, interacting=(), live=()):
+    return AllocationRequest(
+        count=count,
+        interacting_qubits=tuple(interacting),
+        heap=heap,
+        scheduler=scheduler,
+        live_qubits=tuple(live),
+        create_qubit=create_qubit,
+        module_name="test",
+    )
+
+
+class TestLifoAllocation:
+    def test_pops_heap_first(self):
+        _, scheduler, heap, create = _environment(placed=[(0, 0), (1, 1)])
+        heap.push(0)
+        heap.push(1)
+        allocated = LifoAllocation().allocate(_request(scheduler, heap, create, count=2))
+        assert allocated == [1, 0]
+
+    def test_creates_new_when_heap_empty(self):
+        _, scheduler, heap, create = _environment()
+        allocated = LifoAllocation().allocate(_request(scheduler, heap, create, count=3))
+        assert allocated == [0, 1, 2]
+        assert scheduler.layout.num_placed == 3
+
+    def test_exhaustion_raises(self):
+        _, scheduler, heap, create = _environment(grid=1, placed=[(0, 0)])
+        with pytest.raises(ResourceExhaustedError):
+            LifoAllocation().allocate(_request(scheduler, heap, create, count=1))
+
+
+class TestLocalityAwareAllocation:
+    def test_prefers_close_heap_qubit(self):
+        # Qubit 0 sits next to the anchor, qubit 1 far away; both reclaimed.
+        _, scheduler, heap, create = _environment(
+            placed=[(0, 1), (1, 8), (2, 0)])
+        heap.push(0)
+        heap.push(1)
+        allocated = LocalityAwareAllocation().allocate(
+            _request(scheduler, heap, create, count=1, interacting=[2], live=[2]))
+        assert allocated == [0]
+        assert 1 in heap
+
+    def test_prefers_new_nearby_site_over_distant_heap_qubit(self):
+        # The only reclaimed qubit is in the far corner; a fresh site next to
+        # the anchor scores better.
+        _, scheduler, heap, create = _environment(placed=[(0, 8), (1, 0)])
+        heap.push(0)
+        allocated = LocalityAwareAllocation().allocate(
+            _request(scheduler, heap, create, count=1, interacting=[1], live=[1]))
+        assert allocated != [0]
+        site = scheduler.layout.site_of(allocated[0])
+        assert scheduler.machine.topology.distance(site, 0) <= 2
+
+    def test_serialization_penalty_steers_away_from_busy_qubit(self):
+        _, scheduler, heap, create = _environment(
+            placed=[(0, 1), (1, 3), (2, 0)])
+        heap.push(0)
+        heap.push(1)
+        # Make qubit 0 (the closer one) very busy far into the future.
+        scheduler._qubit_time[0] = 10_000
+        policy = LocalityAwareAllocation(serialization_weight=5.0)
+        allocated = policy.allocate(
+            _request(scheduler, heap, create, count=1, interacting=[2], live=[2]))
+        assert allocated == [1]
+
+    def test_allocates_requested_count(self):
+        _, scheduler, heap, create = _environment(placed=[(0, 4)])
+        allocated = LocalityAwareAllocation().allocate(
+            _request(scheduler, heap, create, count=4, interacting=[0], live=[0]))
+        assert len(allocated) == 4
+        assert len(set(allocated)) == 4
+
+    def test_exhaustion_raises(self):
+        _, scheduler, heap, create = _environment(grid=1, placed=[(0, 0)])
+        with pytest.raises(ResourceExhaustedError):
+            LocalityAwareAllocation().allocate(
+                _request(scheduler, heap, create, count=1, interacting=[0]))

@@ -1,0 +1,101 @@
+"""Tests for the analysis helpers (metrics, usage curves, report tables)."""
+
+import pytest
+
+from repro.analysis.liveness import UsageCurve, ascii_plot, usage_curve
+from repro.analysis.metrics import (
+    PolicyComparison,
+    arithmetic_mean,
+    average_reduction,
+    geometric_mean,
+    improvement_factor,
+    normalized_aqv,
+)
+from repro.analysis.report import format_comparison, format_table
+from repro.arch.nisq import NISQMachine
+from repro.core.compiler import compile_program
+from repro.workloads import rd53
+
+
+@pytest.fixture(scope="module")
+def rd53_results():
+    program = rd53()
+    results = {}
+    for policy in ("lazy", "eager", "square"):
+        machine = NISQMachine.grid(5, 5)
+        results[policy] = compile_program(program, machine, policy=policy)
+    return results
+
+
+class TestMetrics:
+    def test_normalized_aqv_baseline_is_one(self, rd53_results):
+        normalized = normalized_aqv(rd53_results, baseline="lazy")
+        assert normalized["lazy"] == pytest.approx(1.0)
+        assert all(value > 0 for value in normalized.values())
+
+    def test_missing_baseline_rejected(self, rd53_results):
+        with pytest.raises(KeyError):
+            normalized_aqv(rd53_results, baseline="none")
+
+    def test_improvement_factor(self):
+        assert improvement_factor(10.0, 5.0) == pytest.approx(2.0)
+        assert improvement_factor(10.0, 0.0) == float("inf")
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_policy_comparison(self, rd53_results):
+        comparison = PolicyComparison("RD53", rd53_results)
+        assert comparison.aqv("lazy") == rd53_results["lazy"].active_quantum_volume
+        rows = comparison.table_row()
+        assert len(rows) == 3
+        assert average_reduction([comparison], "square") > 0
+
+
+class TestUsageCurves:
+    def test_area_equals_aqv(self, rd53_results):
+        result = rd53_results["square"]
+        curve = usage_curve(result)
+        assert curve.area() == result.active_quantum_volume
+
+    def test_peak_and_value_at(self):
+        curve = UsageCurve("demo", ((0, 0), (5, 3), (10, 1), (20, 0)))
+        assert curve.peak == 3
+        assert curve.value_at(7) == 3
+        assert curve.value_at(15) == 1
+        assert curve.end_time == 20
+
+    def test_resampled_length(self):
+        curve = UsageCurve("demo", ((0, 0), (10, 2), (20, 0)))
+        samples = curve.resampled(11)
+        assert len(samples) == 11
+
+    def test_ascii_plot_contains_legend(self, rd53_results):
+        curves = [usage_curve(result, label=policy)
+                  for policy, result in rd53_results.items()]
+        art = ascii_plot(curves)
+        assert "lazy" in art
+        assert "square" in art
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([]) == "(no curves)"
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.25}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_comparison_has_title(self):
+        text = format_comparison("My Title", [{"a": 1}])
+        assert text.startswith("My Title")
+        assert "=" in text

@@ -1,0 +1,117 @@
+"""Unit tests for the flat circuit container."""
+
+import pytest
+
+from repro.exceptions import IrreversibleBlockError
+from repro.ir.circuit import Circuit, concatenate
+from repro.ir.gates import make_gate
+
+
+class TestCircuitConstruction:
+    def test_append_grows_wires(self):
+        circuit = Circuit(1)
+        circuit.cx(0, 5)
+        assert circuit.num_qubits == 6
+
+    def test_helpers_add_expected_gates(self):
+        circuit = Circuit(3)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        circuit.ccx(0, 1, 2)
+        circuit.swap(1, 2)
+        circuit.h(0)
+        assert [g.name for g in circuit] == ["x", "cx", "ccx", "swap", "h"]
+
+    def test_compose_with_mapping(self):
+        inner = Circuit(2)
+        inner.cx(0, 1)
+        outer = Circuit(4)
+        outer.compose(inner, {0: 2, 1: 3})
+        assert outer.gates[-1].qubits == (2, 3)
+
+    def test_equality(self):
+        a = Circuit(2)
+        a.cx(0, 1)
+        b = Circuit(2)
+        b.cx(0, 1)
+        assert a == b
+        b.x(0)
+        assert a != b
+
+
+class TestCircuitAnalysis:
+    def test_gate_counts(self):
+        circuit = Circuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.x(0)
+        assert circuit.gate_counts()["cx"] == 2
+        assert circuit.count("x") == 1
+        assert circuit.two_qubit_gate_count == 2
+
+    def test_depth_independent_gates(self):
+        circuit = Circuit(4)
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        assert circuit.depth() == 1
+
+    def test_depth_dependent_chain(self):
+        circuit = Circuit(3)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(0, 1)
+        assert circuit.depth() == 3
+
+    def test_timed_depth_uses_durations(self):
+        circuit = Circuit(2)
+        circuit.cx(0, 1)
+        assert circuit.timed_depth() == 2
+
+    def test_used_qubits(self):
+        circuit = Circuit(5)
+        circuit.cx(1, 3)
+        assert circuit.used_qubits() == (1, 3)
+
+    def test_is_classical(self):
+        circuit = Circuit(2)
+        circuit.cx(0, 1)
+        assert circuit.is_classical()
+        circuit.h(0)
+        assert not circuit.is_classical()
+
+
+class TestCircuitTransforms:
+    def test_inverse_reverses_and_inverts(self):
+        circuit = Circuit(2)
+        circuit.add("t", 0)
+        circuit.cx(0, 1)
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse] == ["cx", "tdg"]
+
+    def test_inverse_rejects_measurement(self):
+        circuit = Circuit(1)
+        circuit.measure(0)
+        with pytest.raises(IrreversibleBlockError):
+            circuit.inverse()
+
+    def test_remapped(self):
+        circuit = Circuit(2)
+        circuit.cx(0, 1)
+        remapped = circuit.remapped({0: 4, 1: 5}, num_qubits=6)
+        assert remapped.gates[0].qubits == (4, 5)
+        assert remapped.num_qubits == 6
+
+    def test_concatenate(self):
+        a = Circuit(2)
+        a.x(0)
+        b = Circuit(2)
+        b.x(1)
+        combined = concatenate([a, b])
+        assert len(combined) == 2
+
+    def test_to_text_contains_gates(self):
+        circuit = Circuit(2, name="demo")
+        circuit.cx(0, 1)
+        text = circuit.to_text()
+        assert "CX q0 q1" in text
+        assert "demo" in text

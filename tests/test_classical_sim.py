@@ -1,0 +1,92 @@
+"""Unit and property tests for the classical reversible simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NonClassicalGateError, SimulationError
+from repro.ir.circuit import Circuit
+from repro.ir.classical_sim import (
+    bits_to_int,
+    int_to_bits,
+    simulate_classical,
+    truth_table,
+)
+
+
+class TestBitHelpers:
+    def test_roundtrip(self):
+        assert bits_to_int(int_to_bits(37, 8)) == 37
+
+    def test_int_to_bits_rejects_overflow(self):
+        with pytest.raises(SimulationError):
+            int_to_bits(8, 3)
+
+    def test_int_to_bits_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            int_to_bits(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip_property(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+class TestSimulateClassical:
+    def test_cnot_and_toffoli(self):
+        circuit = Circuit(3)
+        circuit.x(0)
+        circuit.cx(0, 1)
+        circuit.ccx(0, 1, 2)
+        assert simulate_classical(circuit) == [1, 1, 1]
+
+    def test_swap(self):
+        circuit = Circuit(2)
+        circuit.swap(0, 1)
+        assert simulate_classical(circuit, [1, 0]) == [0, 1]
+
+    def test_sparse_initial_mapping(self):
+        circuit = Circuit(3)
+        circuit.cx(2, 0)
+        assert simulate_classical(circuit, {2: 1}) == [1, 0, 1]
+
+    def test_rejects_nonclassical(self):
+        circuit = Circuit(1)
+        circuit.h(0)
+        with pytest.raises(NonClassicalGateError):
+            simulate_classical(circuit)
+
+    def test_rejects_bad_initial_wire(self):
+        circuit = Circuit(2)
+        with pytest.raises(SimulationError):
+            simulate_classical(circuit, {5: 1})
+
+    def test_truth_table_identity(self):
+        circuit = Circuit(2)
+        circuit.cx(0, 1)
+        table = truth_table(circuit, input_wires=[0, 1], output_wires=[0, 1])
+        # (a, b) -> (a, a ^ b); value encodes wire0 as LSB.
+        assert table[0b01] == 0b11
+        assert table[0b11] == 0b01
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4),
+           st.integers(min_value=0, max_value=999))
+    def test_reverse_circuit_restores_input(self, bits, seed):
+        """Running a random classical circuit then its inverse is the identity."""
+        import random
+
+        rng = random.Random(seed)
+        circuit = Circuit(4)
+        for _ in range(12):
+            kind = rng.random()
+            if kind < 0.3:
+                circuit.x(rng.randrange(4))
+            elif kind < 0.7:
+                a, b = rng.sample(range(4), 2)
+                circuit.cx(a, b)
+            else:
+                a, b, c = rng.sample(range(4), 3)
+                circuit.ccx(a, b, c)
+        forward = simulate_classical(circuit, bits)
+        restored = simulate_classical(circuit.inverse(), forward)
+        assert restored == list(bits)

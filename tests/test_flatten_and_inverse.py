@@ -1,0 +1,124 @@
+"""Tests for statement inversion and the Eager-semantics flattener."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import IrreversibleBlockError, NonClassicalGateError
+from repro.ir.classical_sim import simulate_classical
+from repro.ir.flatten import flatten_module, flatten_program
+from repro.ir.inverse import (
+    check_uncomputable,
+    inverse_module,
+    invert_statements,
+    uncompute_block,
+)
+from repro.ir.program import GateStmt, Program, QModule
+from repro.ir.validate import (
+    validate_program,
+    verify_ancilla_restored,
+    verify_explicit_uncompute,
+)
+
+from tests.conftest import build_fun1, build_two_level_program
+
+
+class TestInvertStatements:
+    def test_gate_order_reversed_and_inverted(self):
+        module = QModule("m", num_inputs=2)
+        module.gate("t", module.inputs[0])
+        module.cx(module.inputs[0], module.inputs[1])
+        inverted = invert_statements(module.compute)
+        assert [s.name for s in inverted] == ["cx", "tdg"]
+
+    def test_measure_rejected(self):
+        module = QModule("m", num_inputs=1)
+        module.gate("measure", module.inputs[0])
+        with pytest.raises(IrreversibleBlockError):
+            invert_statements(module.compute)
+
+    def test_check_uncomputable_rejects_hadamard(self):
+        module = QModule("m", num_inputs=1)
+        module.h(module.inputs[0])
+        with pytest.raises(NonClassicalGateError):
+            check_uncomputable(module.compute)
+
+    def test_uncompute_block_prefers_explicit(self):
+        module = build_fun1()
+        module.begin_uncompute()
+        module.ccx(module.inputs[1], module.inputs[0], module.ancillas[0])
+        block = uncompute_block(module)
+        assert len(block) == 1
+
+    def test_inverse_module_roundtrip(self):
+        fun1 = build_fun1()
+        inverse = inverse_module(fun1)
+        # Compose fun1 then its inverse in one program: must be the identity
+        # on the parameters.
+        top = QModule("roundtrip", num_inputs=4)
+        q = top.inputs
+        top.call(fun1, *q)
+        top.call(inverse, *q)
+        flat = flatten_program(Program(top))
+        for bits in itertools.product([0, 1], repeat=4):
+            out = simulate_classical(flat.circuit,
+                                     dict(zip(flat.param_wires, bits)))
+            assert [out[w] for w in flat.param_wires] == list(bits)
+
+
+class TestFlattener:
+    def test_flatten_fun1_ancilla_clean(self):
+        fun1 = build_fun1()
+        flat = flatten_module(fun1)
+        param_set = set(flat.param_wires)
+        for bits in itertools.product([0, 1], repeat=4):
+            out = simulate_classical(flat.circuit,
+                                     dict(zip(flat.param_wires, bits)))
+            ancilla = [w for w in range(flat.circuit.num_qubits)
+                       if w not in param_set]
+            assert all(out[w] == 0 for w in ancilla)
+
+    def test_flatten_two_level_matches_direct_logic(self):
+        program = build_two_level_program()
+        flat = flatten_program(program)
+        # fun1's Toffoli cascade stores in2 onto main's ancilla; main then
+        # XORs in0 onto it, so both outputs receive in0 ^ in2.
+        for bits in itertools.product([0, 1], repeat=3):
+            assignment = dict(zip(flat.param_wires[:3], bits))
+            out = simulate_classical(flat.circuit, assignment)
+            i0, _i1, i2 = bits
+            expected = i0 ^ i2
+            assert out[flat.param_wires[3]] == expected
+            assert out[flat.param_wires[4]] == expected
+
+    def test_reuse_reduces_total_wires(self):
+        program = build_two_level_program()
+        with_reuse = flatten_program(program, reuse_ancilla=True)
+        without = flatten_program(program, reuse_ancilla=False)
+        assert with_reuse.circuit.num_qubits <= without.circuit.num_qubits
+        assert with_reuse.max_ancilla_in_use <= without.total_ancilla_wires
+
+    def test_ancilla_free_module_not_uncomputed(self):
+        module = QModule("copy", num_inputs=1, num_outputs=1)
+        module.cx(module.inputs[0], module.outputs[0])
+        flat = flatten_module(module)
+        out = simulate_classical(flat.circuit, {flat.param_wires[0]: 1})
+        assert out[flat.param_wires[1]] == 1
+
+
+class TestValidation:
+    def test_verify_ancilla_restored_passes_for_fun1(self):
+        verify_ancilla_restored(build_fun1())
+
+    def test_verify_explicit_uncompute_catches_bad_block(self):
+        module = QModule("bad", num_inputs=2, num_ancilla=1)
+        module.ccx(module.inputs[0], module.inputs[1], module.ancillas[0])
+        module.begin_uncompute()
+        module.x(module.ancillas[0])  # not the inverse of compute
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            verify_explicit_uncompute(module)
+
+    def test_validate_program_full(self):
+        validate_program(build_two_level_program(), check_ancilla=True)

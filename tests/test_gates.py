@@ -1,0 +1,76 @@
+"""Unit tests for the gate set definitions."""
+
+import pytest
+
+from repro.exceptions import UnknownGateError
+from repro.ir.gates import (
+    CLASSICAL_GATES,
+    GATE_SPECS,
+    Gate,
+    gate_spec,
+    inverse_gate_name,
+    is_classical_gate,
+    make_gate,
+)
+
+
+class TestGateSpecs:
+    def test_every_spec_has_matching_name(self):
+        for name, spec in GATE_SPECS.items():
+            assert spec.name == name
+
+    def test_classical_gate_set(self):
+        assert CLASSICAL_GATES == {"x", "cx", "ccx", "swap"}
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(UnknownGateError):
+            gate_spec("frobnicate")
+
+    def test_inverse_pairs(self):
+        assert inverse_gate_name("t") == "tdg"
+        assert inverse_gate_name("tdg") == "t"
+        assert inverse_gate_name("s") == "sdg"
+        assert inverse_gate_name("cx") == "cx"
+        assert inverse_gate_name("ccx") == "ccx"
+
+    def test_measure_has_no_inverse(self):
+        with pytest.raises(ValueError):
+            inverse_gate_name("measure")
+
+    def test_is_classical(self):
+        assert is_classical_gate("ccx")
+        assert not is_classical_gate("h")
+
+
+class TestGate:
+    def test_make_gate_valid(self):
+        gate = make_gate("cx", (0, 1))
+        assert gate.num_qubits == 2
+        assert gate.is_classical
+        assert gate.is_unitary
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(UnknownGateError):
+            make_gate("cx", (0,))
+
+    def test_duplicate_operands_rejected(self):
+        with pytest.raises(UnknownGateError):
+            make_gate("cx", (3, 3))
+
+    def test_inverse_gate_acts_on_same_qubits(self):
+        gate = make_gate("t", (2,))
+        assert gate.inverse() == Gate("tdg", (2,))
+
+    def test_remap(self):
+        gate = make_gate("ccx", (0, 1, 2))
+        remapped = gate.remap({0: 5, 1: 6, 2: 7})
+        assert remapped.qubits == (5, 6, 7)
+
+    def test_str(self):
+        assert str(make_gate("cx", (0, 1))) == "cx q0 q1"
+
+    def test_duration_positive(self):
+        for name in GATE_SPECS:
+            if name == "barrier":
+                continue
+            assert make_gate(name, tuple(range(GATE_SPECS[name].num_qubits))).duration >= 1

@@ -1,0 +1,179 @@
+"""Tests for the noise models, simulators and success-rate estimation."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.arch.nisq import NISQMachine
+from repro.core.compiler import compile_program
+from repro.ir.circuit import Circuit
+from repro.noise.analytical import estimate_success, success_rates
+from repro.noise.models import NoiseModel, TABLE_IV_DEVICES, table_iv_rows
+from repro.noise.monte_carlo import (
+    MonteCarloSimulator,
+    total_variation_distance,
+    tvd_from_ideal,
+)
+from repro.noise.statevector import StateVector, simulate_statevector
+from repro.workloads import rd53
+
+
+class TestNoiseModel:
+    def test_gate_error_by_arity(self):
+        model = NoiseModel()
+        assert model.gate_error(1) == model.single_qubit_error
+        assert model.gate_error(2) == model.two_qubit_error
+        assert model.gate_error(3) == pytest.approx(6 * model.two_qubit_error)
+
+    def test_idle_flip_probability_monotone(self):
+        model = NoiseModel()
+        assert model.idle_flip_probability(0) == 0.0
+        assert model.idle_flip_probability(10) < model.idle_flip_probability(1000)
+
+    def test_table_iv_rows(self):
+        rows = table_iv_rows()
+        assert len(rows) == len(TABLE_IV_DEVICES) == 3
+        assert any(row["device"] == "Our Simulation" for row in rows)
+
+
+class TestStateVector:
+    def test_bell_state_probabilities(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        state = simulate_statevector(circuit)
+        probabilities = state.probabilities()
+        assert probabilities[0b00] == pytest.approx(0.5)
+        assert probabilities[0b11] == pytest.approx(0.5)
+
+    def test_classical_circuit_gives_basis_state(self):
+        circuit = Circuit(3)
+        circuit.x(0)
+        circuit.ccx(0, 1, 2)
+        circuit.cx(0, 1)
+        state = simulate_statevector(circuit)
+        probabilities = state.probabilities()
+        assert probabilities[0b011] == pytest.approx(1.0)
+
+    def test_marginal_probabilities(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        state = simulate_statevector(circuit)
+        marginal = state.marginal_probabilities([0])
+        assert marginal[0] == pytest.approx(0.5)
+        assert marginal[1] == pytest.approx(0.5)
+
+    def test_sampling_matches_distribution(self):
+        import numpy as np
+
+        circuit = Circuit(1)
+        circuit.x(0)
+        state = simulate_statevector(circuit)
+        counts = state.sample(100, rng=np.random.default_rng(1))
+        assert counts == {1: 100}
+
+    def test_fidelity_of_same_state_is_one(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        a = simulate_statevector(circuit)
+        assert a.fidelity_with(a.copy()) == pytest.approx(1.0)
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(SimulationError):
+            StateVector(30)
+
+    def test_measure_rejected(self):
+        circuit = Circuit(1)
+        circuit.measure(0)
+        with pytest.raises(SimulationError):
+            simulate_statevector(circuit)
+
+
+class TestMonteCarlo:
+    def _noisefree_model(self):
+        from repro.arch.nisq import NoiseParameters
+
+        return NoiseModel(parameters=NoiseParameters(
+            single_qubit_error=0.0, two_qubit_error=0.0,
+            t1_us=1e12, t2_us=1e12, gate_time_us=0.05))
+
+    def test_zero_noise_gives_ideal_outcome(self):
+        circuit = Circuit(3)
+        circuit.x(0)
+        circuit.ccx(0, 1, 2)
+        simulator = MonteCarloSimulator(noise_model=self._noisefree_model(), seed=3)
+        result = simulator.run(circuit, shots=64)
+        assert result.success_probability() == 1.0
+        assert tvd_from_ideal(result) == 0.0
+
+    def test_noise_increases_tvd_with_circuit_size(self):
+        small = Circuit(2)
+        small.cx(0, 1)
+        large = Circuit(2)
+        for _ in range(200):
+            large.cx(0, 1)
+        simulator = MonteCarloSimulator(seed=5)
+        tvd_small = tvd_from_ideal(simulator.run(small, shots=512))
+        tvd_large = tvd_from_ideal(simulator.run(large, shots=512))
+        assert tvd_large > tvd_small
+
+    def test_measured_wires_subset(self):
+        circuit = Circuit(3)
+        circuit.x(2)
+        simulator = MonteCarloSimulator(noise_model=self._noisefree_model())
+        result = simulator.run(circuit, shots=16, measured_wires=[2])
+        assert result.ideal_outcome == 1
+
+    def test_nonclassical_circuit_rejected(self):
+        circuit = Circuit(1)
+        circuit.h(0)
+        with pytest.raises(SimulationError):
+            MonteCarloSimulator().run(circuit, shots=8)
+
+    def test_reproducible_with_seed(self):
+        circuit = Circuit(2)
+        for _ in range(20):
+            circuit.cx(0, 1)
+        first = MonteCarloSimulator(seed=11).run(circuit, shots=128)
+        second = MonteCarloSimulator(seed=11).run(circuit, shots=128)
+        assert first.counts == second.counts
+
+    def test_total_variation_distance_bounds(self):
+        assert total_variation_distance({0: 1.0}, {0: 1.0}) == 0.0
+        assert total_variation_distance({0: 1.0}, {1: 1.0}) == 1.0
+        assert total_variation_distance({0: 0.5, 1: 0.5}, {0: 1.0}) == pytest.approx(0.5)
+
+
+class TestAnalyticalSuccess:
+    def test_estimate_components_in_unit_interval(self):
+        program = rd53()
+        result = compile_program(program, NISQMachine.grid(5, 5), policy="square")
+        estimate = estimate_success(result)
+        assert 0.0 < estimate.gate_success <= 1.0
+        assert 0.0 < estimate.coherence <= 1.0
+        assert 0.0 < estimate.total <= 1.0
+
+    def test_success_rates_ranking_tracks_depth(self):
+        program = rd53()
+        results = {}
+        for policy in ("lazy", "eager", "square"):
+            machine = NISQMachine.grid(5, 5)
+            results[policy] = compile_program(program, machine, policy=policy,
+                                              decompose_toffoli=True)
+        rates = success_rates(results)
+        assert set(rates) == {"lazy", "eager", "square"}
+        shallowest = min(results, key=lambda p: results[p].circuit_depth)
+        assert rates[shallowest] == max(rates.values())
+
+    def test_lower_noise_gives_higher_success(self):
+        from repro.arch.nisq import NoiseParameters
+
+        program = rd53()
+        result = compile_program(program, NISQMachine.grid(5, 5), policy="square")
+        noisy = estimate_success(result, NoiseModel()).total
+        clean = estimate_success(result, NoiseModel(parameters=NoiseParameters(
+            single_qubit_error=1e-6, two_qubit_error=1e-5,
+            t1_us=1e9, t2_us=1e9, gate_time_us=0.05))).total
+        assert clean > noisy

@@ -1,0 +1,160 @@
+"""Property-based tests on cross-cutting invariants.
+
+These use hypothesis to generate random modular programs and check the
+invariants the whole system relies on:
+
+* every policy produces a circuit that computes the same function on the
+  entry module's parameters (uncomputation never changes program output);
+* the Eager policy leaves every non-top-level ancilla clean;
+* AQV equals the area under the usage curve and never exceeds
+  peak-live-qubits x circuit-depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.nisq import NISQMachine
+from repro.core.compiler import compile_program
+from repro.ir.classical_sim import simulate_classical
+from repro.ir.flatten import flatten_program
+from repro.ir.program import Program, QModule
+
+
+def _random_leaf(rng: random.Random, index: int) -> QModule:
+    """A random gate-only module with 2 inputs, 1 output and 1-2 ancillas.
+
+    The Compute block follows the Bennett discipline the paper's
+    Compute-Store-Uncompute construct assumes: it only *writes* to the
+    module's own ancillas (inputs are used as controls), so deferring the
+    uncomputation never changes values the caller later reads.
+    """
+    num_ancilla = rng.randint(1, 2)
+    module = QModule(f"leaf{index}", num_inputs=2, num_outputs=1,
+                     num_ancilla=num_ancilla)
+    controls: List = list(module.inputs) + list(module.ancillas)
+    targets: List = list(module.ancillas)
+    for _ in range(rng.randint(2, 5)):
+        kind = rng.random()
+        target = rng.choice(targets)
+        if kind < 0.3:
+            module.x(target)
+        elif kind < 0.7:
+            control = rng.choice([q for q in controls if q is not target])
+            module.cx(control, target)
+        else:
+            options = [q for q in controls if q is not target]
+            if len(options) >= 2:
+                a, b = rng.sample(options, 2)
+                module.ccx(a, b, target)
+    module.begin_store()
+    module.cx(module.ancillas[0], module.outputs[0])
+    return module
+
+
+def _random_program(seed: int) -> Program:
+    """A random 2-3 level modular program with 3 entry inputs, 2 outputs."""
+    rng = random.Random(seed)
+    leaves = [_random_leaf(rng, i) for i in range(rng.randint(1, 2))]
+    middle = QModule("middle", num_inputs=2, num_outputs=1, num_ancilla=2)
+    mid_pool = list(middle.inputs) + list(middle.ancillas)
+    for index, leaf in enumerate(leaves):
+        args = rng.sample(mid_pool, 2) + [middle.ancillas[index % 2]]
+        if len(set(args)) == 3:
+            middle.call(leaf, *args)
+    middle.cx(middle.inputs[0], middle.ancillas[0])
+    middle.begin_store()
+    middle.cx(middle.ancillas[0], middle.outputs[0])
+
+    top = QModule("top", num_inputs=3, num_outputs=2, num_ancilla=1)
+    top.call(middle, top.inputs[0], top.inputs[1], top.ancillas[0])
+    top.cx(top.inputs[2], top.ancillas[0])
+    top.begin_store()
+    top.cx(top.ancillas[0], top.outputs[0])
+    top.cx(top.inputs[2], top.outputs[1])
+    return Program(top, name=f"random-{seed}")
+
+
+def _reference_table(program: Program, width: int):
+    """Expected values of the entry module's output parameters."""
+    flat = flatten_program(program)
+    num_outputs = len(program.entry.outputs)
+    output_wires = flat.param_wires[width - num_outputs:]
+    table = {}
+    for bits in itertools.product([0, 1], repeat=width):
+        out = simulate_classical(flat.circuit, dict(zip(flat.param_wires, bits)))
+        table[bits] = tuple(out[w] for w in output_wires)
+    return table
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_policies_preserve_program_semantics(seed):
+    """Compiled output parameters are policy-independent.
+
+    Garbage may differ (that is the whole point of deferring), but the
+    values the Store blocks write onto the entry module's outputs must be
+    identical under every policy.
+    """
+    program = _random_program(seed)
+    width = program.entry.num_params
+    num_outputs = len(program.entry.outputs)
+    output_wires = range(width - num_outputs, width)
+    reference = _reference_table(program, width)
+    for policy in ("eager", "lazy", "square"):
+        machine = NISQMachine.grid(4, 4)
+        result = compile_program(program, machine, policy=policy,
+                                 record_schedule=True)
+        circuit = result.to_circuit()
+        for bits, expected in reference.items():
+            out = simulate_classical(circuit, dict(zip(range(width), bits)))
+            assert tuple(out[w] for w in output_wires) == expected
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_eager_cleans_every_child_ancilla(seed):
+    """Under Eager every reclaimed ancilla really is back in |0>.
+
+    The only qubits allowed to end dirty are the entry module's own
+    ancillas (the top level never uncomputes).
+    """
+    program = _random_program(seed)
+    width = program.entry.num_params
+    machine = NISQMachine.grid(4, 4)
+    result = compile_program(program, machine, policy="eager",
+                             record_schedule=True)
+    circuit = result.to_circuit()
+    top_ancilla_count = program.entry.num_ancilla
+    # Virtual ids: params first, then the entry ancillas, then everything else.
+    allowed_dirty = set(range(width, width + top_ancilla_count))
+    for bits in itertools.product([0, 1], repeat=width):
+        out = simulate_classical(circuit, dict(zip(range(width), bits)))
+        dirty = {w for w in range(width, circuit.num_qubits) if out[w]}
+        assert dirty <= allowed_dirty
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(["eager", "lazy", "square", "square-laa"]))
+def test_aqv_bounds(seed, policy):
+    """AQV equals the usage-curve area and is bounded by qubits x depth."""
+    program = _random_program(seed)
+    machine = NISQMachine.grid(4, 4)
+    result = compile_program(program, machine, policy=policy)
+    series = result.usage_series()
+    area = sum(live * (t1 - t0)
+               for (t0, live), (t1, _) in zip(series, series[1:]))
+    assert area == result.active_quantum_volume
+    assert result.active_quantum_volume <= (
+        result.peak_live_qubits * result.circuit_depth
+    )
+    assert result.peak_live_qubits <= result.num_qubits_used

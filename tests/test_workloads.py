@@ -1,0 +1,211 @@
+"""Functional and structural tests for the workload library."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.classical_sim import bits_to_int, int_to_bits, simulate_classical
+from repro.ir.flatten import flatten_program
+from repro.workloads import (
+    LARGE_BENCHMARKS,
+    NISQ_BENCHMARKS,
+    adder_program,
+    benchmark_names,
+    load_benchmark,
+    modexp_program,
+    multiplier_program,
+    rd53,
+    salsa20_program,
+    sha2_program,
+    sym6,
+    synthetic_program,
+    two_of_five,
+)
+from repro.exceptions import ExperimentError, IRError
+
+
+def _evaluate(program, input_bits):
+    flat = flatten_program(program)
+    assignment = dict(zip(flat.param_wires, input_bits))
+    out = simulate_classical(flat.circuit, assignment)
+    params = [out[w] for w in flat.param_wires]
+    ancilla = [out[w] for w in range(flat.circuit.num_qubits)
+               if w not in set(flat.param_wires)]
+    return params, ancilla
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_uncontrolled_addition(self, width):
+        program = adder_program(width, controlled=False)
+        rng = random.Random(width)
+        for _ in range(10):
+            a, b = rng.randrange(1 << width), rng.randrange(1 << width)
+            bits = int_to_bits(a, width) + int_to_bits(b, width) + [0] * (width + 1)
+            params, ancilla = _evaluate(program, bits)
+            assert bits_to_int(params[2 * width:]) == a + b
+            assert all(bit == 0 for bit in ancilla)
+
+    @pytest.mark.parametrize("ctrl", [0, 1])
+    def test_controlled_addition(self, ctrl):
+        width = 3
+        program = adder_program(width, controlled=True)
+        a, b = 5, 6
+        bits = [ctrl] + int_to_bits(a, width) + int_to_bits(b, width) + [0] * (width + 1)
+        params, _ = _evaluate(program, bits)
+        expected = a + b if ctrl else 0
+        assert bits_to_int(params[1 + 2 * width:]) == expected
+
+    def test_inputs_preserved(self):
+        width = 4
+        program = adder_program(width, controlled=True)
+        bits = [1] + int_to_bits(9, width) + int_to_bits(13, width) + [0] * (width + 1)
+        params, _ = _evaluate(program, bits)
+        assert params[:1 + 2 * width] == bits[:1 + 2 * width]
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRError):
+            adder_program(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7))
+    def test_addition_property(self, a, b):
+        width = 3
+        program = adder_program(width, controlled=False)
+        bits = int_to_bits(a, width) + int_to_bits(b, width) + [0] * (width + 1)
+        params, ancilla = _evaluate(program, bits)
+        assert bits_to_int(params[2 * width:]) == a + b
+        assert all(bit == 0 for bit in ancilla)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_controlled_multiplication(self, width):
+        program = multiplier_program(width, controlled=True)
+        rng = random.Random(width)
+        for _ in range(8):
+            a, b = rng.randrange(1 << width), rng.randrange(1 << width)
+            ctrl = rng.randint(0, 1)
+            bits = [ctrl] + int_to_bits(a, width) + int_to_bits(b, width) + [0] * (2 * width)
+            params, ancilla = _evaluate(program, bits)
+            expected = a * b if ctrl else 0
+            assert bits_to_int(params[1 + 2 * width:]) == expected
+            assert all(bit == 0 for bit in ancilla)
+
+    def test_width_one_rejected(self):
+        with pytest.raises(IRError):
+            multiplier_program(1)
+
+
+class TestOracles:
+    def test_rd53_truth_table(self):
+        program = rd53()
+        for bits in itertools.product([0, 1], repeat=5):
+            params, ancilla = _evaluate(program, list(bits) + [0, 0, 0])
+            assert bits_to_int(params[5:]) == sum(bits)
+            assert all(b == 0 for b in ancilla)
+
+    def test_sym6_truth_table(self):
+        program = sym6()
+        for bits in itertools.product([0, 1], repeat=6):
+            params, _ = _evaluate(program, list(bits) + [0])
+            assert params[6] == (1 if sum(bits) in (2, 3, 4) else 0)
+
+    def test_two_of_five_truth_table(self):
+        program = two_of_five()
+        for bits in itertools.product([0, 1], repeat=5):
+            params, _ = _evaluate(program, list(bits) + [0])
+            assert params[5] == (1 if sum(bits) == 2 else 0)
+
+
+class TestStructuralWorkloads:
+    """Modexp / SHA2 / Salsa20 are resource-model workloads; check structure."""
+
+    def test_modexp_structure(self):
+        program = modexp_program(width=3, exponent_bits=2)
+        program.validate()
+        assert program.num_levels() >= 4
+        flat = flatten_program(program)
+        assert flat.circuit.is_classical()
+
+    def test_modexp_passthrough_when_exponent_zero(self):
+        program = modexp_program(width=3, exponent_bits=2)
+        # exponent bits 0 -> every stage copies the value through unchanged.
+        value = 5
+        bits = [0, 0] + int_to_bits(value, 3) + [0] * 3
+        params, ancilla = _evaluate(program, bits)
+        assert bits_to_int(params[5:]) == value
+        assert all(b == 0 for b in ancilla)
+
+    def test_sha2_structure(self):
+        program = sha2_program(word_width=4, rounds=2)
+        program.validate()
+        assert program.num_levels() == 3
+        assert program.static_gate_count() > 100
+
+    def test_salsa20_structure(self):
+        program = salsa20_program(word_width=4, rounds=1)
+        program.validate()
+        assert program.num_levels() == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IRError):
+            sha2_program(word_width=4, rounds=0)
+        with pytest.raises(IRError):
+            salsa20_program(word_width=1, rounds=1)
+        with pytest.raises(IRError):
+            modexp_program(width=3, exponent_bits=0)
+
+
+class TestSyntheticBenchmarks:
+    @pytest.mark.parametrize("name", ["jasmine-s", "elsa-s", "belle-s",
+                                      "jasmine", "elsa", "belle"])
+    def test_generation_is_reproducible(self, name):
+        first = synthetic_program(name)
+        second = synthetic_program(name)
+        assert first.static_gate_count() == second.static_gate_count()
+        assert len(first.modules()) == len(second.modules())
+
+    def test_belle_is_deeply_nested(self):
+        assert synthetic_program("belle").num_levels() >= 5
+
+    def test_elsa_is_shallow_and_heavy(self):
+        program = synthetic_program("elsa")
+        assert program.num_levels() <= 3
+        assert program.static_gate_count() > synthetic_program("belle-s").static_gate_count()
+
+    def test_programs_are_classical_and_valid(self):
+        for name in ("jasmine-s", "elsa-s", "belle-s"):
+            program = synthetic_program(name)
+            program.validate()
+            assert flatten_program(program).circuit.is_classical()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(IRError):
+            synthetic_program("anna")
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        names = benchmark_names()
+        assert set(NISQ_BENCHMARKS) <= set(names)
+        assert set(LARGE_BENCHMARKS) <= set(names)
+
+    def test_load_by_any_case(self):
+        assert load_benchmark("rd53").name == "RD53"
+        assert load_benchmark("RD53").name == "RD53"
+
+    def test_load_with_overrides(self):
+        program = load_benchmark("MUL32", width=4)
+        assert program.name == "MUL32"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ExperimentError):
+            load_benchmark("nonexistent")
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(ExperimentError):
+            load_benchmark("RD53", width=7)

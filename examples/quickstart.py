@@ -1,15 +1,20 @@
 """Quickstart: write a modular reversible function, compile it with SQUARE.
 
 Builds the Compute-Store-Uncompute function of Figure 6 in the paper,
-wraps it in a small program, compiles it onto a 2-D lattice NISQ machine
-under each ancilla-reuse policy and prints the headline metrics.
+wraps it in a small program, then submits compilation through the
+``repro.api`` service: a single :class:`~repro.Session` compiles the
+program under every ancilla-reuse policy (in parallel if you pass a
+worker count), and a registry sweep shows the same service driving the
+built-in benchmarks.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [jobs]
 """
 
 from __future__ import annotations
 
-from repro import NISQMachine, Program, QModule, compile_program
+import sys
+
+from repro import MachineSpec, Program, QModule, Session, SweepSpec
 from repro.analysis import format_table
 from repro.ir import ModuleBuilder
 
@@ -38,16 +43,20 @@ def build_program() -> Program:
     return Program(main, name="quickstart")
 
 
-def main() -> None:
+def main(jobs: int = 1) -> None:
     program = build_program()
     program.validate()
     print(f"program: {program.name}, modules={len(program.modules())}, "
           f"levels={program.num_levels()}\n")
 
+    # One session for everything: memoized, optionally parallel.
+    session = Session(jobs=jobs)
+    machine = MachineSpec.nisq_grid(4, 4)
+
+    # Compile the in-memory program under every policy through the session.
     rows = []
     for policy in ("lazy", "eager", "square-laa", "square"):
-        machine = NISQMachine.grid(4, 4)
-        result = compile_program(program, machine, policy=policy)
+        result = session.compile(program, machine=machine, policy=policy)
         rows.append({
             "policy": policy,
             "gates": result.gate_count,
@@ -62,6 +71,15 @@ def main() -> None:
     best = min(rows, key=lambda row: row["AQV"])
     print(f"\nlowest active quantum volume: {best['policy']} ({best['AQV']})")
 
+    # The same session also drives registry benchmarks, as a sweep.
+    sweep = session.run(SweepSpec()
+                        .with_benchmarks("RD53", "ADDER4")
+                        .with_machines(MachineSpec.nisq_grid(5, 5))
+                        .with_policies("lazy", "square")
+                        .with_config(decompose_toffoli=True))
+    print()
+    print(sweep.table("Registry sweep through the same session"))
+
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

@@ -9,7 +9,7 @@ from repro.analysis.metrics import (
     improvement_factor,
     normalized_aqv,
 )
-from repro.analysis.report import format_comparison, format_table
+from repro.analysis.report import export_rows, format_comparison, format_table
 
 __all__ = [
     "PolicyComparison",
@@ -17,6 +17,7 @@ __all__ = [
     "arithmetic_mean",
     "ascii_plot",
     "average_reduction",
+    "export_rows",
     "format_comparison",
     "format_table",
     "geometric_mean",

@@ -1,7 +1,10 @@
-"""Plain-text report tables for the experiment harness."""
+"""Plain-text report tables and row export for the experiment harness."""
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 
@@ -47,3 +50,46 @@ def format_comparison(title: str, rows: Sequence[Mapping[str, object]],
     table = format_table(rows, columns)
     underline = "=" * len(title)
     return f"{title}\n{underline}\n{table}\n"
+
+
+def export_rows(rows: Sequence[Mapping[str, object]],
+                path: Optional[str] = None,
+                fmt: Optional[str] = None) -> str:
+    """Serialize table rows as JSON or CSV, optionally writing a file.
+
+    Args:
+        rows: Table rows (mappings from column name to value).
+        path: Optional output file; the serialized text is returned
+            either way.
+        fmt: ``"json"`` or ``"csv"``; inferred from the ``path``
+            extension when omitted (defaulting to JSON).
+
+    Raises:
+        ValueError: On an unrecognised format.
+    """
+    if fmt is None:
+        if path and path.lower().endswith(".csv"):
+            fmt = "csv"
+        else:
+            fmt = "json"
+    if fmt == "json":
+        text = json.dumps([dict(row) for row in rows], indent=2,
+                          default=str) + "\n"
+    elif fmt == "csv":
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, lineterminator="\n")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+        text = buffer.getvalue()
+    else:
+        raise ValueError(f"unknown export format {fmt!r}; use json or csv")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

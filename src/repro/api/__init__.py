@@ -1,0 +1,39 @@
+"""Unified compilation service API.
+
+The single front door for compilation at any scale: describe work as
+:class:`CompileJob` objects (or let :class:`SweepSpec` expand a
+benchmarks x machines x policies x scales product into them), then run
+them through a :class:`Session`, which memoizes by job fingerprint and
+executes through a pluggable executor — :class:`SerialExecutor` in
+process, or :class:`ParallelExecutor` across worker processes.  The
+resulting :class:`SweepResult` filters, tabulates and exports to
+JSON/CSV.
+
+Every experiment module, the ``python -m repro.experiments`` CLI and the
+examples sit on top of this package.
+"""
+
+from repro.api.executors import ParallelExecutor, SerialExecutor
+from repro.api.job import (
+    MACHINE_KINDS,
+    CompileJob,
+    MachineSpec,
+    autosize_compile,
+    execute_job,
+)
+from repro.api.session import Session
+from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
+
+__all__ = [
+    "CompileJob",
+    "MACHINE_KINDS",
+    "MachineSpec",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "Session",
+    "SweepEntry",
+    "SweepResult",
+    "SweepSpec",
+    "autosize_compile",
+    "execute_job",
+]

@@ -1,0 +1,69 @@
+"""Job executors: serial and multiprocessing-parallel batch execution.
+
+An executor turns an ordered list of :class:`~repro.api.job.CompileJob`
+into the matching ordered list of
+:class:`~repro.core.result.CompilationResult`.  Both executors call the
+same :func:`~repro.api.job.execute_job`, so for a deterministic compiler
+(and the SQUARE walk is deterministic) they produce identical results —
+the parallel executor only changes wall-clock time, never numbers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+from repro.api.job import CompileJob, execute_job, execute_job_to_dict
+from repro.core.result import CompilationResult
+
+
+class SerialExecutor:
+    """Run jobs one after another in the calling process."""
+
+    def run(self, jobs: Sequence[CompileJob]) -> List[CompilationResult]:
+        """Execute every job in order."""
+        return [execute_job(job) for job in jobs]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Fan jobs out over a pool of worker processes.
+
+    Compilation releases no GIL, so process-level parallelism is the only
+    way to overlap policy x benchmark sweeps; a full Figure 9/10 sweep
+    speeds up near-linearly in the worker count.  Results cross the
+    process boundary via
+    :meth:`~repro.core.result.CompilationResult.to_dict`, which is cheap
+    when ``record_schedule=False`` (the default for sweeps).
+
+    Worker processes import ``repro`` afresh, so benchmarks and policies
+    registered at module import time are available in workers; with the
+    ``spawn`` start method, registrations done only inside
+    ``if __name__ == "__main__":`` are not.
+
+    Args:
+        jobs: Worker process count; defaults to the machine's CPU count.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"need at least one worker, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def run(self, jobs: Sequence[CompileJob]) -> List[CompilationResult]:
+        """Execute every job, preserving submission order in the results."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if len(jobs) == 1 or self.jobs == 1:
+            return [execute_job(job) for job in jobs]
+        workers = min(self.jobs, len(jobs))
+        with multiprocessing.Pool(processes=workers) as pool:
+            payloads = pool.map(execute_job_to_dict, jobs)
+        return [CompilationResult.from_dict(payload) for payload in payloads]
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"

@@ -1,0 +1,137 @@
+"""The compilation session: the single front door for running jobs.
+
+A :class:`Session` owns an executor and a memo cache keyed by job
+fingerprints.  Every consumer — the experiment modules, the CLI, the
+examples, a future network service — submits work here, so batching,
+caching and parallelism live in exactly one place::
+
+    from repro.api import MachineSpec, Session, SweepSpec
+
+    session = Session(jobs=4)                   # 4 worker processes
+    spec = (SweepSpec()
+            .with_benchmarks("RD53", "ADDER4")
+            .with_machines(MachineSpec.nisq_grid(5, 5))
+            .with_policies("lazy", "eager", "square"))
+    sweep = session.run(spec)
+    print(sweep.table("NISQ sweep"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ExperimentError
+from repro.api.executors import ParallelExecutor, SerialExecutor
+from repro.api.job import CompileJob, MachineSpec
+from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
+from repro.core.compiler import preset
+from repro.core.result import CompilationResult
+from repro.ir.program import Program
+
+
+class Session:
+    """Executes compile jobs with memoization and a pluggable executor.
+
+    Identical jobs (same fingerprint) compile once per session; repeats
+    are served from the cache, which makes overlapping sweeps — e.g. the
+    three Figure 8 panels over the same benchmark suite — almost free
+    after the first one.
+
+    Args:
+        executor: Explicit executor instance; any object with a
+            ``run(jobs) -> results`` method works.
+        jobs: Shorthand when ``executor`` is None: 1 builds a
+            :class:`~repro.api.executors.SerialExecutor`, more builds a
+            :class:`~repro.api.executors.ParallelExecutor` with that many
+            worker processes.
+    """
+
+    def __init__(self, executor=None, jobs: int = 1) -> None:
+        if executor is None:
+            executor = SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs)
+        self.executor = executor
+        self._cache: Dict[str, CompilationResult] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    def run(self, work: Union[SweepSpec, Sequence[CompileJob]]) -> SweepResult:
+        """Execute a sweep spec or an explicit job list.
+
+        Duplicate jobs inside one batch execute once; results come back
+        in submission order regardless of executor.
+        """
+        jobs = work.jobs() if isinstance(work, SweepSpec) else list(work)
+        fingerprints = [job.fingerprint() for job in jobs]
+
+        pending: Dict[str, CompileJob] = {}
+        for job, fingerprint in zip(jobs, fingerprints):
+            if fingerprint not in self._cache and fingerprint not in pending:
+                pending[fingerprint] = job
+        fresh = set(pending)
+        if pending:
+            results = self.executor.run(list(pending.values()))
+            self._cache.update(zip(pending.keys(), results))
+
+        entries: List[SweepEntry] = []
+        for job, fingerprint in zip(jobs, fingerprints):
+            cached = fingerprint not in fresh
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                fresh.discard(fingerprint)  # later repeats in-batch are hits
+            entries.append(SweepEntry(job=job, result=self._cache[fingerprint],
+                                      cached=cached))
+        return SweepResult(entries)
+
+    def submit(self, job: CompileJob) -> CompilationResult:
+        """Execute (or recall) a single job."""
+        return self.run([job])[0].result
+
+    def compile(self, program_or_benchmark: Union[str, Program],
+                machine: Optional[MachineSpec] = None,
+                policy: str = "square",
+                overrides: Optional[Dict[str, object]] = None,
+                **config_overrides) -> CompilationResult:
+        """Convenience single compilation by benchmark name or program.
+
+        Args:
+            program_or_benchmark: Registered benchmark name, or an
+                in-memory :class:`~repro.ir.program.Program`.
+            machine: Target machine spec; defaults to autosized NISQ.
+            policy: Policy preset name.
+            overrides: Benchmark size overrides (benchmark jobs only).
+            config_overrides: :class:`~repro.core.compiler.CompilerConfig`
+                field overrides, e.g. ``decompose_toffoli=True``.
+        """
+        machine = machine or MachineSpec.nisq_autosize()
+        config = preset(policy, **config_overrides)
+        if isinstance(program_or_benchmark, str):
+            job = CompileJob(benchmark=program_or_benchmark, machine=machine,
+                             config=config,
+                             overrides=tuple(sorted((overrides or {}).items())))
+        else:
+            if overrides:
+                raise ExperimentError(
+                    "overrides= only apply to benchmark names; size an "
+                    "in-memory program when you build it"
+                )
+            job = CompileJob(program=program_or_benchmark, machine=machine,
+                             config=config)
+        return self.submit(job)
+
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop every memoized result."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized results."""
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return (f"Session(executor={self.executor!r}, "
+                f"cached={self.cache_size}, hits={self.cache_hits}, "
+                f"misses={self.cache_misses})")

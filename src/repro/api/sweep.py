@@ -1,0 +1,279 @@
+"""Sweep specs and sweep results.
+
+:class:`SweepSpec` expands benchmarks x machines x policies x scales into
+an ordered :class:`~repro.api.job.CompileJob` list; a
+:class:`~repro.api.session.Session` executes it into a
+:class:`SweepResult`, which supports filtering, tabulation and JSON/CSV
+export — the shape every experiment module and the CLI share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ExperimentError
+from repro.api.job import CompileJob, MachineSpec
+from repro.core.compiler import CompilerConfig, preset
+from repro.core.result import CompilationResult
+from repro.workloads.registry import SCALES, benchmark_overrides
+
+#: A policy is a preset name (``"square"``) or an explicit config.
+PolicyLike = Union[str, CompilerConfig]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a compilation sweep.
+
+    The job list is the cartesian product ``scales x benchmarks x
+    machines x policies``, in that nesting order (policies innermost), so
+    rows group naturally by benchmark the way the paper's tables do.
+    ``with_*`` methods return updated copies, allowing builder-style
+    chaining::
+
+        spec = (SweepSpec()
+                .with_benchmarks("RD53", "ADDER4")
+                .with_machines(MachineSpec.nisq_grid(5, 5))
+                .with_policies("lazy", "square")
+                .with_config(decompose_toffoli=True))
+        result = Session(jobs=4).run(spec)
+
+    Attributes:
+        benchmarks: Registered benchmark names.
+        machines: Target machine specs.
+        policies: Policy preset names or explicit configs.
+        scales: Benchmark size scales (``"quick"``/``"laptop"``/``"paper"``);
+            scaling only affects benchmarks with registered overrides.
+        config_overrides: :class:`~repro.core.compiler.CompilerConfig`
+            field overrides applied to every named-preset policy.
+    """
+
+    benchmarks: Sequence[str] = ()
+    machines: Sequence[MachineSpec] = (MachineSpec.nisq_autosize(),)
+    policies: Sequence[PolicyLike] = ("lazy", "eager", "square-laa", "square")
+    scales: Sequence[str] = ("laptop",)
+    config_overrides: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def with_benchmarks(self, *names: str) -> "SweepSpec":
+        """Copy of this spec targeting the given benchmarks."""
+        return replace(self, benchmarks=tuple(names))
+
+    def with_machines(self, *machines: MachineSpec) -> "SweepSpec":
+        """Copy of this spec targeting the given machines."""
+        return replace(self, machines=tuple(machines))
+
+    def with_policies(self, *policies: PolicyLike) -> "SweepSpec":
+        """Copy of this spec evaluating the given policies."""
+        return replace(self, policies=tuple(policies))
+
+    def with_scales(self, *scales: str) -> "SweepSpec":
+        """Copy of this spec at the given benchmark scales."""
+        return replace(self, scales=tuple(scales))
+
+    def with_config(self, **overrides) -> "SweepSpec":
+        """Copy of this spec with extra compiler-config overrides."""
+        merged = {**dict(self.config_overrides), **overrides}
+        return replace(self, config_overrides=merged)
+
+    # ------------------------------------------------------------------
+    def _resolve_config(self, policy: PolicyLike) -> CompilerConfig:
+        if isinstance(policy, CompilerConfig):
+            return policy
+        return preset(policy, **dict(self.config_overrides))
+
+    def jobs(self) -> List[CompileJob]:
+        """Expand the sweep into its ordered job list."""
+        if not self.benchmarks:
+            raise ExperimentError("SweepSpec has no benchmarks to expand")
+        for scale in self.scales:
+            if scale not in SCALES:
+                raise ExperimentError(
+                    f"unknown scale {scale!r}; use one of {list(SCALES)}"
+                )
+        expanded: List[CompileJob] = []
+        for scale in self.scales:
+            for benchmark in self.benchmarks:
+                overrides = benchmark_overrides(benchmark, scale)
+                for machine in self.machines:
+                    for policy in self.policies:
+                        expanded.append(CompileJob(
+                            benchmark=benchmark,
+                            machine=machine,
+                            config=self._resolve_config(policy),
+                            overrides=tuple(sorted(overrides.items())),
+                        ))
+        return expanded
+
+    def __len__(self) -> int:
+        return (len(self.scales) * len(self.benchmarks) * len(self.machines)
+                * len(self.policies))
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One executed job inside a :class:`SweepResult`.
+
+    Attributes:
+        job: The job as submitted.
+        result: Its compilation result.
+        cached: True when the session served the result from its memo
+            cache instead of executing the job.
+    """
+
+    job: CompileJob
+    result: CompilationResult
+    cached: bool = False
+
+    def row(self) -> Dict[str, object]:
+        """Flat table row: job coordinates + headline metrics."""
+        row: Dict[str, object] = {
+            "benchmark": self.job.program_label,
+            "policy": self.job.policy_label,
+            "machine": self.result.machine_name,
+        }
+        summary = self.result.summary()
+        for key in ("gates", "qubits", "peak_live", "depth", "swaps", "aqv",
+                    "uncompute_gates"):
+            row[key] = summary[key]
+        return row
+
+
+class SweepResult:
+    """Ordered collection of executed sweep entries.
+
+    Supports list-style access, coordinate filtering, tabulation through
+    :func:`repro.analysis.report.format_table`, and JSON/CSV export.
+    """
+
+    def __init__(self, entries: Sequence[SweepEntry]) -> None:
+        self.entries = list(entries)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[SweepEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> SweepEntry:
+        return self.entries[index]
+
+    def results(self) -> List[CompilationResult]:
+        """Every result, in job-submission order."""
+        return [entry.result for entry in self.entries]
+
+    @property
+    def cache_hits(self) -> int:
+        """How many entries were served from the session cache."""
+        return sum(1 for entry in self.entries if entry.cached)
+
+    # ------------------------------------------------------------------
+    def filter(self, benchmark: Optional[str] = None,
+               policy: Optional[str] = None,
+               machine: Optional[MachineSpec] = None) -> "SweepResult":
+        """Entries matching every given coordinate (case-insensitive names)."""
+        kept = []
+        for entry in self.entries:
+            if benchmark is not None and (
+                    entry.job.program_label.lower() != benchmark.lower()):
+                continue
+            if policy is not None and (
+                    entry.job.policy_label.lower() != policy.lower()):
+                continue
+            if machine is not None and entry.job.machine != machine:
+                continue
+            kept.append(entry)
+        return SweepResult(kept)
+
+    def get(self, benchmark: Optional[str] = None,
+            policy: Optional[str] = None,
+            machine: Optional[MachineSpec] = None) -> CompilationResult:
+        """The unique result at the given coordinates.
+
+        Raises:
+            ExperimentError: If no entry, or more than one, matches.
+        """
+        matches = self.filter(benchmark=benchmark, policy=policy,
+                              machine=machine)
+        if len(matches) != 1:
+            raise ExperimentError(
+                f"expected exactly one result for benchmark={benchmark!r} "
+                f"policy={policy!r}, found {len(matches)}"
+            )
+        return matches[0].result
+
+    def suite(self, benchmark: Optional[str] = None,
+              machine: Optional[MachineSpec] = None
+              ) -> Dict[str, CompilationResult]:
+        """Results keyed by policy label, in execution order.
+
+        The shape the analysis helpers (e.g.
+        :func:`repro.analysis.metrics.normalized_aqv`) consume.
+
+        Raises:
+            ExperimentError: If two in-scope entries share a policy label
+                (i.e. the scope still spans several machines or scales) —
+                narrow it with ``benchmark``/``machine`` filters first.
+        """
+        scoped = self.filter(benchmark=benchmark, machine=machine)
+        suite: Dict[str, CompilationResult] = {}
+        for entry in scoped:
+            label = entry.job.policy_label
+            if label in suite:
+                raise ExperimentError(
+                    f"suite() scope is ambiguous: several entries share "
+                    f"policy label {label!r}; filter by benchmark/machine "
+                    f"(or iterate filter() results) instead"
+                )
+            suite[label] = entry.result
+        return suite
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat table rows for every entry."""
+        return [entry.row() for entry in self.entries]
+
+    def table(self, title: Optional[str] = None) -> str:
+        """Aligned text table of the headline metrics."""
+        from repro.analysis.report import format_comparison, format_table
+
+        if title:
+            return format_comparison(title, self.rows())
+        return format_table(self.rows())
+
+    def to_json(self, path: Optional[str] = None, *,
+                full: bool = False) -> str:
+        """Serialize to JSON (headline rows, or full results with ``full``).
+
+        Args:
+            path: Optional file to write; the JSON text is returned either
+                way.
+            full: Export complete
+                :meth:`~repro.core.result.CompilationResult.to_dict`
+                payloads instead of headline rows.
+        """
+        from repro.analysis.report import export_rows
+
+        if full:
+            rows: List[Dict[str, object]] = [
+                {"benchmark": entry.job.program_label,
+                 "policy": entry.job.policy_label,
+                 "fingerprint": entry.job.fingerprint(),
+                 "result": entry.result.to_dict()}
+                for entry in self.entries
+            ]
+        else:
+            rows = self.rows()
+        return export_rows(rows, path=path, fmt="json")
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Serialize the headline rows to CSV (optionally writing ``path``)."""
+        from repro.analysis.report import export_rows
+
+        return export_rows(self.rows(), path=path, fmt="csv")
+
+    def __repr__(self) -> str:
+        return (f"SweepResult(entries={len(self.entries)}, "
+                f"cache_hits={self.cache_hits})")

@@ -22,6 +22,14 @@ from repro.core.cost_model import (
     uncompute_cost,
 )
 from repro.core.heap import AncillaHeap
+from repro.core.policies import (
+    allocation_policy_names,
+    create_allocation_policy,
+    create_reclamation_policy,
+    reclamation_policy_names,
+    register_allocation_policy,
+    register_reclamation_policy,
+)
 from repro.core.reclamation import (
     CostEffectiveReclamation,
     EagerReclamation,
@@ -52,8 +60,14 @@ __all__ = [
     "ReclamationPolicy",
     "ReclamationRequest",
     "SquareCompiler",
+    "allocation_policy_names",
     "compile_program",
+    "create_allocation_policy",
+    "create_reclamation_policy",
     "preset",
+    "reclamation_policy_names",
+    "register_allocation_policy",
+    "register_reclamation_policy",
     "reclamation_costs",
     "reservation_cost",
     "uncompute_cost",

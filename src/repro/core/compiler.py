@@ -21,26 +21,19 @@ what that child actually did:
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import CompilationError, ResourceExhaustedError
 from repro.arch.machine import Machine
-from repro.core.allocation import (
-    AllocationPolicy,
-    AllocationRequest,
-    LifoAllocation,
-    LocalityAwareAllocation,
-)
+from repro.core.allocation import AllocationPolicy, AllocationRequest
 from repro.core.cost_model import CommunicationEstimator
 from repro.core.heap import AncillaHeap
-from repro.core.reclamation import (
-    CostEffectiveReclamation,
-    EagerReclamation,
-    LazyReclamation,
-    ReclamationPolicy,
-    ReclamationRequest,
+from repro.core.policies import (
+    create_allocation_policy,
+    create_reclamation_policy,
 )
+from repro.core.reclamation import ReclamationPolicy, ReclamationRequest
 from repro.core.result import CompilationResult, ReclamationEvent
 from repro.ir.decompose import decompose_toffoli
 from repro.ir.gates import inverse_gate_name
@@ -48,25 +41,16 @@ from repro.ir.program import CallStmt, GateStmt, Program, QModule, Qubit, Statem
 from repro.scheduler.asap import GateScheduler
 from repro.scheduler.tracker import LivenessTracker
 
-_ALLOCATION_POLICIES = {
-    "lifo": LifoAllocation,
-    "laa": LocalityAwareAllocation,
-}
-
-_RECLAMATION_POLICIES = {
-    "eager": EagerReclamation,
-    "lazy": LazyReclamation,
-    "cer": CostEffectiveReclamation,
-}
-
 
 @dataclass(frozen=True)
 class CompilerConfig:
     """Configuration of one compilation run.
 
     Attributes:
-        allocation: Allocation policy name (``"lifo"`` or ``"laa"``).
-        reclamation: Reclamation policy name (``"eager"``, ``"lazy"`` or
+        allocation: Allocation policy name, resolved through
+            :mod:`repro.core.policies` (built-ins: ``"lifo"``, ``"laa"``).
+        reclamation: Reclamation policy name, resolved through
+            :mod:`repro.core.policies` (built-ins: ``"eager"``, ``"lazy"``,
             ``"cer"``).
         decompose_toffoli: Decompose Toffoli gates into Clifford+T before
             scheduling (used for the small NISQ benchmarks; large workloads
@@ -103,7 +87,12 @@ POLICY_PRESETS: Dict[str, CompilerConfig] = {
 
 
 def preset(name: str, **overrides) -> CompilerConfig:
-    """Return a named policy preset, optionally overriding fields."""
+    """Return a named policy preset, optionally overriding fields.
+
+    Raises:
+        CompilationError: If the preset name is unknown, or an override
+            does not name a :class:`CompilerConfig` field.
+    """
     try:
         config = POLICY_PRESETS[name]
     except KeyError:
@@ -112,8 +101,14 @@ def preset(name: str, **overrides) -> CompilerConfig:
         ) from None
     if not overrides:
         return config
-    values = {**config.__dict__, **overrides}
-    return CompilerConfig(**values)
+    valid = {f.name for f in fields(CompilerConfig)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise CompilationError(
+            f"unknown CompilerConfig field(s) {unknown}; "
+            f"valid fields: {sorted(valid)}"
+        )
+    return replace(config, **overrides)
 
 
 @dataclass
@@ -179,19 +174,9 @@ class SquareCompiler:
         self.machine = machine
         self.config = config or POLICY_PRESETS["square"]
         if allocation_policy is None:
-            try:
-                allocation_policy = _ALLOCATION_POLICIES[self.config.allocation]()
-            except KeyError:
-                raise CompilationError(
-                    f"unknown allocation policy {self.config.allocation!r}"
-                ) from None
+            allocation_policy = create_allocation_policy(self.config.allocation)
         if reclamation_policy is None:
-            try:
-                reclamation_policy = _RECLAMATION_POLICIES[self.config.reclamation]()
-            except KeyError:
-                raise CompilationError(
-                    f"unknown reclamation policy {self.config.reclamation!r}"
-                ) from None
+            reclamation_policy = create_reclamation_policy(self.config.reclamation)
         self.allocation_policy = allocation_policy
         self.reclamation_policy = reclamation_policy
 
@@ -575,6 +560,12 @@ def compile_program(
     policy: str = "square",
     **config_overrides,
 ) -> CompilationResult:
-    """One-call convenience API: compile ``program`` under a named policy."""
+    """One-call convenience API: compile ``program`` under a named policy.
+
+    Kept as a thin compatibility shim over :class:`SquareCompiler`; new
+    code that compiles more than one (program, machine, policy) triple
+    should prefer the batch front door in :mod:`repro.api`
+    (``Session``/``SweepSpec``), which adds memoization and parallelism.
+    """
     config = preset(policy, **config_overrides)
     return SquareCompiler(machine, config).compile(program)

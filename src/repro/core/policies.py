@@ -1,0 +1,133 @@
+"""Public, extensible registries for allocation and reclamation policies.
+
+The compiler resolves policy *names* (the strings carried by
+:class:`~repro.core.compiler.CompilerConfig`) through these registries, so
+new heuristics can be plugged in without touching the compiler itself::
+
+    from repro.core.policies import register_allocation_policy
+    from repro.core.allocation import AllocationPolicy
+
+    @register_allocation_policy("random")
+    class RandomAllocation(AllocationPolicy):
+        ...
+
+    result = compile_program(program, machine, policy="square",
+                             allocation="random")
+
+A registry entry is a zero-argument factory (usually the policy class
+itself); a fresh policy instance is created per compilation so stateful
+policies never leak state between runs.
+
+Note for :class:`~repro.api.executors.ParallelExecutor` users: worker
+processes inherit registrations made at import time of your modules; when
+the multiprocessing start method is ``spawn``, policies registered only in
+the parent's ``__main__`` body are not visible to workers — register them
+at module import time instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import CompilationError
+from repro.core.allocation import (
+    AllocationPolicy,
+    LifoAllocation,
+    LocalityAwareAllocation,
+)
+from repro.core.reclamation import (
+    CostEffectiveReclamation,
+    EagerReclamation,
+    LazyReclamation,
+    ReclamationPolicy,
+)
+
+AllocationFactory = Callable[[], AllocationPolicy]
+ReclamationFactory = Callable[[], ReclamationPolicy]
+
+_ALLOCATION: Dict[str, AllocationFactory] = {}
+_RECLAMATION: Dict[str, ReclamationFactory] = {}
+
+
+def _make_registrar(registry: Dict[str, Callable], kind: str,
+                    name: str, factory: Optional[Callable],
+                    replace: bool):
+    def register(f: Callable) -> Callable:
+        if not replace and name in registry:
+            raise CompilationError(
+                f"{kind} policy {name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        registry[name] = f
+        return f
+
+    if factory is not None:
+        return register(factory)
+    return register
+
+
+def register_allocation_policy(name: str,
+                               factory: Optional[AllocationFactory] = None,
+                               *, replace: bool = False):
+    """Register an allocation policy factory under ``name``.
+
+    Usable as a decorator (``@register_allocation_policy("mine")``) or as a
+    direct call (``register_allocation_policy("mine", MyPolicy)``).
+
+    Raises:
+        CompilationError: If ``name`` is taken and ``replace`` is False.
+    """
+    return _make_registrar(_ALLOCATION, "allocation", name, factory, replace)
+
+
+def register_reclamation_policy(name: str,
+                                factory: Optional[ReclamationFactory] = None,
+                                *, replace: bool = False):
+    """Register a reclamation policy factory under ``name``.
+
+    Usable as a decorator or as a direct call, like
+    :func:`register_allocation_policy`.
+    """
+    return _make_registrar(_RECLAMATION, "reclamation", name, factory, replace)
+
+
+def create_allocation_policy(name: str) -> AllocationPolicy:
+    """Instantiate the registered allocation policy called ``name``."""
+    try:
+        factory = _ALLOCATION[name]
+    except KeyError:
+        raise CompilationError(
+            f"unknown allocation policy {name!r}; "
+            f"registered: {allocation_policy_names()}"
+        ) from None
+    return factory()
+
+
+def create_reclamation_policy(name: str) -> ReclamationPolicy:
+    """Instantiate the registered reclamation policy called ``name``."""
+    try:
+        factory = _RECLAMATION[name]
+    except KeyError:
+        raise CompilationError(
+            f"unknown reclamation policy {name!r}; "
+            f"registered: {reclamation_policy_names()}"
+        ) from None
+    return factory()
+
+
+def allocation_policy_names() -> List[str]:
+    """Sorted names of every registered allocation policy."""
+    return sorted(_ALLOCATION)
+
+
+def reclamation_policy_names() -> List[str]:
+    """Sorted names of every registered reclamation policy."""
+    return sorted(_RECLAMATION)
+
+
+# The built-in policies of the paper (Table I).
+register_allocation_policy("lifo", LifoAllocation)
+register_allocation_policy("laa", LocalityAwareAllocation)
+register_reclamation_policy("eager", EagerReclamation)
+register_reclamation_policy("lazy", LazyReclamation)
+register_reclamation_policy("cer", CostEffectiveReclamation)

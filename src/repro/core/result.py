@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cost_model import ReclamationCosts
 from repro.ir.circuit import Circuit
@@ -151,6 +151,108 @@ class CompilationResult:
                 continue
             circuit.append(make_gate(event.name, event.virtual_qubits))
         return circuit
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary.
+
+        Nested records use compact list encodings so that results stay
+        cheap to pickle across process boundaries (the parallel executor
+        ships every result through this representation) and cheap to dump
+        as JSON.  :meth:`from_dict` restores a fully equivalent result.
+        """
+        return {
+            "program_name": self.program_name,
+            "machine_name": self.machine_name,
+            "policy_name": self.policy_name,
+            "num_qubits_used": self.num_qubits_used,
+            "peak_live_qubits": self.peak_live_qubits,
+            "gate_count": self.gate_count,
+            "swap_count": self.swap_count,
+            "circuit_depth": self.circuit_depth,
+            "active_quantum_volume": self.active_quantum_volume,
+            "total_comm_cost": self.total_comm_cost,
+            "uncompute_gate_count": self.uncompute_gate_count,
+            "reclamation_events": [
+                [
+                    event.module,
+                    event.level,
+                    event.reclaimed,
+                    event.num_ancilla,
+                    None if event.costs is None else
+                    [event.costs.uncompute_cost, event.costs.reservation_cost],
+                ]
+                for event in self.reclamation_events
+            ],
+            "usage_segments": [
+                [segment.qubit, segment.start, segment.end]
+                for segment in self.usage_segments
+            ],
+            "scheduled_gates": [
+                [
+                    event.name,
+                    list(event.virtual_qubits),
+                    list(event.sites),
+                    event.start,
+                    event.finish,
+                    event.routed,
+                ]
+                for event in self.scheduled_gates
+            ],
+            "final_sites": [list(pair) for pair in self.final_sites],
+            "num_entry_params": self.num_entry_params,
+            "compile_seconds": self.compile_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CompilationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            program_name=data["program_name"],
+            machine_name=data["machine_name"],
+            policy_name=data["policy_name"],
+            num_qubits_used=data["num_qubits_used"],
+            peak_live_qubits=data["peak_live_qubits"],
+            gate_count=data["gate_count"],
+            swap_count=data["swap_count"],
+            circuit_depth=data["circuit_depth"],
+            active_quantum_volume=data["active_quantum_volume"],
+            total_comm_cost=data["total_comm_cost"],
+            uncompute_gate_count=data["uncompute_gate_count"],
+            reclamation_events=tuple(
+                ReclamationEvent(
+                    module=module,
+                    level=level,
+                    reclaimed=reclaimed,
+                    num_ancilla=num_ancilla,
+                    costs=None if costs is None else
+                    ReclamationCosts(uncompute_cost=costs[0],
+                                     reservation_cost=costs[1]),
+                )
+                for module, level, reclaimed, num_ancilla, costs
+                in data.get("reclamation_events", ())
+            ),
+            usage_segments=tuple(
+                UsageSegment(qubit=qubit, start=start, end=end)
+                for qubit, start, end in data.get("usage_segments", ())
+            ),
+            scheduled_gates=tuple(
+                ScheduledGate(
+                    name=name,
+                    virtual_qubits=tuple(virtual_qubits),
+                    sites=tuple(sites),
+                    start=start,
+                    finish=finish,
+                    routed=routed,
+                )
+                for name, virtual_qubits, sites, start, finish, routed
+                in data.get("scheduled_gates", ())
+            ),
+            final_sites=tuple(
+                (virtual, site) for virtual, site in data.get("final_sites", ())
+            ),
+            num_entry_params=data.get("num_entry_params", 0),
+            compile_seconds=data.get("compile_seconds", 0.0),
+        )
 
     def summary(self) -> Dict[str, object]:
         """Flat dictionary of the headline metrics (for report tables)."""

@@ -1,4 +1,9 @@
-"""Experiment harness: one module per table / figure of the evaluation."""
+"""Experiment harness: one module per table / figure of the evaluation.
+
+Every experiment accepts an optional shared :class:`~repro.api.Session`
+and compiles exclusively through it, so one CLI invocation (or one test
+run) shares a single memo cache and executor across all experiments.
+"""
 
 from repro.experiments import (
     figure1,
@@ -17,6 +22,7 @@ from repro.experiments.runner import (
     compile_policy_suite,
     compile_with_autosize,
     ft_machine_factory,
+    get_session,
     load_scaled_benchmark,
     nisq_machine_factory,
 )
@@ -43,6 +49,7 @@ __all__ = [
     "compile_policy_suite",
     "compile_with_autosize",
     "ft_machine_factory",
+    "get_session",
     "load_scaled_benchmark",
     "nisq_machine_factory",
 ]

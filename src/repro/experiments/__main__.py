@@ -1,10 +1,17 @@
 """Command-line entry point: ``python -m repro.experiments <name> [...]``.
 
+All commands compile through one shared :class:`~repro.api.Session`, so
+``--jobs N`` parallelises any experiment across N worker processes and
+overlapping experiments (e.g. ``all``) reuse each other's results.
+
 Examples::
 
     python -m repro.experiments table3
-    python -m repro.experiments figure9 --scale quick
-    python -m repro.experiments all --scale quick
+    python -m repro.experiments figure9 --scale quick --jobs 4
+    python -m repro.experiments all --scale quick --export rows.json
+    python -m repro.experiments sweep RD53 ADDER4 --policies lazy square \\
+        --grid 5 5 --export sweep.csv
+    python -m repro.experiments compile MODEXP --policy square --scale quick
 """
 
 from __future__ import annotations
@@ -13,39 +20,168 @@ import argparse
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS
+from repro.api import MachineSpec, Session, SweepSpec
+from repro.experiments import DEFAULT_POLICIES, EXPERIMENTS
+from repro.workloads.registry import SCALES, benchmark_names
 
 
-def _run_one(name: str, scale: str, shots: int) -> str:
+def _machine_spec(args: argparse.Namespace) -> MachineSpec:
+    """Build the target machine spec from CLI flags."""
+    if args.grid:
+        if args.machine not in ("nisq", "ft"):
+            raise SystemExit(
+                f"--grid only applies to lattice machines (nisq, ft), "
+                f"not {args.machine!r}; use --machine-qubits instead"
+            )
+        rows, cols = args.grid
+        return MachineSpec(kind=args.machine, rows=rows, cols=cols)
+    if args.machine_qubits is not None:
+        return MachineSpec(kind=args.machine, num_qubits=args.machine_qubits)
+    return MachineSpec(kind=args.machine, autosize=True,
+                       start_qubits=args.start_qubits)
+
+
+def _run_experiment(name: str, session: Session,
+                    args: argparse.Namespace) -> tuple[str, list]:
     runner, formatter = EXPERIMENTS[name]
-    kwargs = {}
+    kwargs = {"session": session}
     if name in ("figure1", "figure9", "figure10"):
-        kwargs["scale"] = scale
+        kwargs["scale"] = args.scale
     if name == "figure8c":
-        kwargs["shots"] = shots
+        kwargs["shots"] = args.shots
     started = time.perf_counter()
     experiment = runner(**kwargs)
     elapsed = time.perf_counter() - started
-    return formatter(experiment) + f"\n[{name} completed in {elapsed:.1f}s]\n"
+    text = formatter(experiment) + f"\n[{name} completed in {elapsed:.1f}s]\n"
+    return text, experiment.rows
+
+
+def _run_sweep(session: Session, args: argparse.Namespace) -> tuple[str, list]:
+    benchmarks = tuple(args.names) or tuple(benchmark_names())
+    spec = SweepSpec(
+        benchmarks=benchmarks,
+        machines=(_machine_spec(args),),
+        policies=tuple(args.policies or DEFAULT_POLICIES),
+        scales=(args.scale,),
+    )
+    started = time.perf_counter()
+    sweep = session.run(spec)
+    elapsed = time.perf_counter() - started
+    title = (f"Sweep: {len(benchmarks)} benchmark(s) x "
+             f"{len(spec.policies)} policy(ies) at scale {args.scale}")
+    text = (sweep.table(title)
+            + f"\n[{len(sweep)} jobs completed in {elapsed:.1f}s, "
+            f"{sweep.cache_hits} cache hits]\n")
+    return text, sweep.rows()
+
+
+def _run_compile(session: Session, args: argparse.Namespace) -> tuple[str, list]:
+    if not args.names:
+        raise SystemExit("compile needs a benchmark name, e.g. "
+                         "`python -m repro.experiments compile RD53`")
+    if len(args.names) > 1:
+        raise SystemExit("compile takes one benchmark; use `sweep` for "
+                         "several")
+    benchmark = args.names[0]
+    policies = tuple(args.policies or ["square"])
+    from repro.workloads.registry import benchmark_overrides
+    from repro.api import CompileJob
+
+    machine = _machine_spec(args)
+    overrides = benchmark_overrides(benchmark, args.scale)
+    sweep = session.run([
+        CompileJob.for_benchmark(benchmark, machine, policy,
+                                 overrides=overrides)
+        for policy in policies
+    ])
+    rows = [entry.result.summary() for entry in sweep]
+    from repro.analysis.report import format_comparison
+
+    text = format_comparison(
+        f"compile {benchmark} under {', '.join(policies)}", rows)
+    return text, rows
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the tables and figures of the SQUARE paper.",
+        description="Regenerate the tables and figures of the SQUARE paper, "
+                    "or run ad-hoc sweeps, through the repro.api service.",
     )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which table/figure to regenerate")
-    parser.add_argument("--scale", default="laptop",
-                        choices=["quick", "laptop", "paper"],
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all", "sweep",
+                                                       "compile"],
+                        help="which table/figure to regenerate, or `sweep` / "
+                             "`compile` for ad-hoc jobs")
+    parser.add_argument("names", nargs="*",
+                        help="benchmark names for `sweep` (default: all) "
+                             "and `compile`")
+    parser.add_argument("--scale", default="laptop", choices=list(SCALES),
                         help="benchmark size scale for the large benchmarks")
     parser.add_argument("--shots", type=int, default=2048,
                         help="shots for the noise-simulation experiment")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for compilation (1 = serial)")
+    parser.add_argument("--export", metavar="PATH",
+                        help="write result rows to PATH (.json or .csv)")
+    parser.add_argument("--policies", "--policy", nargs="+", metavar="POLICY",
+                        help="policy presets for `sweep`/`compile` "
+                             f"(default: {' '.join(DEFAULT_POLICIES)})")
+    parser.add_argument("--machine", default="nisq",
+                        choices=["nisq", "nisq-full", "ft", "ideal"],
+                        help="machine kind for `sweep`/`compile`")
+    parser.add_argument("--machine-qubits", type=int, metavar="N",
+                        help="fixed machine size (default: autosize)")
+    parser.add_argument("--grid", nargs=2, type=int, metavar=("ROWS", "COLS"),
+                        help="explicit lattice dimensions (NISQ/FT)")
+    parser.add_argument("--start-qubits", type=int, default=64, metavar="N",
+                        help="initial machine size when autosizing")
     args = parser.parse_args(argv)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(_run_one(name, args.scale, args.shots))
+    if args.experiment not in ("sweep", "compile"):
+        ignored = []
+        if args.names:
+            ignored.append("benchmark names")
+        if args.policies:
+            ignored.append("--policies")
+        if args.machine != "nisq":
+            ignored.append("--machine")
+        if args.machine_qubits is not None:
+            ignored.append("--machine-qubits")
+        if args.grid:
+            ignored.append("--grid")
+        if args.start_qubits != 64:
+            ignored.append("--start-qubits")
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} only apply to `sweep` and `compile`; "
+                f"{args.experiment!r} runs its fixed benchmark/policy/machine "
+                f"grid"
+            )
+
+    session = Session(jobs=args.jobs)
+    exported_rows: list = []
+    if args.experiment == "sweep":
+        text, rows = _run_sweep(session, args)
+        print(text)
+        exported_rows = rows
+    elif args.experiment == "compile":
+        text, rows = _run_compile(session, args)
+        print(text)
+        exported_rows = rows
+    else:
+        names = (sorted(EXPERIMENTS) if args.experiment == "all"
+                 else [args.experiment])
+        for name in names:
+            text, rows = _run_experiment(name, session, args)
+            print(text)
+            exported_rows.extend(rows)
+
+    if args.export:
+        from repro.analysis.report import export_rows
+
+        export_rows(exported_rows, path=args.export)
+        print(f"[exported {len(exported_rows)} rows to {args.export}]")
     return 0
 
 

@@ -9,25 +9,30 @@ volume.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.liveness import UsageCurve, ascii_plot, usage_curve
+from repro.api import Session, SweepSpec
 from repro.experiments.runner import (
     ExperimentResult,
-    compile_policy_suite,
-    load_scaled_benchmark,
-    nisq_machine_factory,
+    get_session,
+    nisq_lattice_spec,
 )
 
 POLICIES: Sequence[str] = ("eager", "lazy", "square")
 
 
-def run(scale: str = "laptop", policies: Sequence[str] = POLICIES
-        ) -> ExperimentResult:
+def run(scale: str = "laptop", policies: Sequence[str] = POLICIES,
+        session: Optional[Session] = None) -> ExperimentResult:
     """Compile MODEXP under each policy and extract its usage curves."""
-    program = load_scaled_benchmark("MODEXP", scale)
-    results = compile_policy_suite(program, nisq_machine_factory(),
-                                   policies=policies, start_qubits=64)
+    session = get_session(session)
+    spec = SweepSpec(
+        benchmarks=("MODEXP",),
+        machines=(nisq_lattice_spec(start_qubits=64),),
+        policies=tuple(policies),
+        scales=(scale,),
+    )
+    results = session.run(spec).suite(benchmark="MODEXP")
     curves: Dict[str, UsageCurve] = {
         policy: usage_curve(result, label=policy)
         for policy, result in results.items()

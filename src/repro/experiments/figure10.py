@@ -8,15 +8,15 @@ and logical gate durations follow the FT duration table.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.metrics import arithmetic_mean, normalized_aqv
+from repro.api import Session, SweepSpec
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
     ExperimentResult,
-    compile_policy_suite,
-    ft_machine_factory,
-    load_scaled_benchmark,
+    ft_lattice_spec,
+    get_session,
 )
 from repro.workloads.registry import LARGE_BENCHMARKS
 
@@ -25,15 +25,23 @@ POLICIES: Sequence[str] = DEFAULT_POLICIES
 
 def run(benchmarks: Sequence[str] = tuple(LARGE_BENCHMARKS),
         policies: Sequence[str] = POLICIES,
-        scale: str = "laptop") -> ExperimentResult:
+        scale: str = "laptop",
+        session: Optional[Session] = None) -> ExperimentResult:
     """Compile every large benchmark on FT machines and normalise to Lazy."""
+    session = get_session(session)
+    spec = SweepSpec(
+        benchmarks=tuple(benchmarks),
+        machines=(ft_lattice_spec(start_qubits=64),),
+        policies=tuple(policies),
+        scales=(scale,),
+    )
+    sweep = session.run(spec)
+
     rows = []
     reductions = []
     raw: Dict[str, Dict[str, object]] = {}
     for name in benchmarks:
-        program = load_scaled_benchmark(name, scale)
-        suite = compile_policy_suite(program, ft_machine_factory(),
-                                     policies=policies, start_qubits=64)
+        suite = sweep.suite(benchmark=name)
         normalized = normalized_aqv(suite, baseline="lazy")
         row: Dict[str, object] = {"benchmark": name}
         for policy in policies:

@@ -9,32 +9,34 @@ both machines and reports the active quantum volume of each combination.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.arch.nisq import NISQMachine
-from repro.experiments.runner import (
-    ExperimentResult,
-    compile_on_machine,
-    load_scaled_benchmark,
-)
-from repro.workloads.registry import load_benchmark
+from repro.api import MachineSpec, Session, SweepSpec
+from repro.experiments.runner import ExperimentResult, get_session
 
 POLICIES: Sequence[str] = ("eager", "lazy", "square")
 
 
 def run(benchmark: str = "belle-s", lattice_qubits: int = 25,
-        policies: Sequence[str] = POLICIES) -> ExperimentResult:
+        policies: Sequence[str] = POLICIES,
+        session: Optional[Session] = None) -> ExperimentResult:
     """Compare reclamation strategies on lattice vs fully-connected machines."""
-    program = load_benchmark(benchmark)
+    session = get_session(session)
+    lattice = MachineSpec.nisq(lattice_qubits)
+    full = MachineSpec.nisq_full(lattice_qubits)
+    spec = SweepSpec(
+        benchmarks=(benchmark,),
+        machines=(lattice, full),
+        policies=tuple(policies),
+        config_overrides={"decompose_toffoli": True},
+    )
+    sweep = session.run(spec)
+
     rows = []
     aqv: Dict[str, Dict[str, int]] = {"lattice": {}, "fully-connected": {}}
     for policy in policies:
-        lattice = NISQMachine.with_qubits(lattice_qubits)
-        result_lattice = compile_on_machine(program, lattice, policy,
-                                            decompose_toffoli=True)
-        full = NISQMachine.fully_connected(lattice_qubits)
-        result_full = compile_on_machine(program, full, policy,
-                                         decompose_toffoli=True)
+        result_lattice = sweep.get(policy=policy, machine=lattice)
+        result_full = sweep.get(policy=policy, machine=full)
         aqv["lattice"][policy] = result_lattice.active_quantum_volume
         aqv["fully-connected"][policy] = result_full.active_quantum_volume
         rows.append({

@@ -10,40 +10,46 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from repro.arch.nisq import NISQMachine
+from repro.api import MachineSpec, Session, SweepSpec
 from repro.core.result import CompilationResult
-from repro.experiments.runner import ExperimentResult, compile_on_machine
+from repro.experiments.runner import ExperimentResult, get_session
 from repro.noise.analytical import success_rates
 from repro.noise.models import NoiseModel
 from repro.noise.monte_carlo import MonteCarloSimulator, tvd_from_ideal
-from repro.workloads.registry import NISQ_BENCHMARKS, load_benchmark
+from repro.workloads.registry import NISQ_BENCHMARKS
 
 AQV_POLICIES: Sequence[str] = ("lazy", "eager", "square-laa", "square")
 NOISE_POLICIES: Sequence[str] = ("lazy", "eager", "square")
 
 
-def _compile_suite(name: str, policies: Sequence[str], grid_rows: int,
-                   grid_cols: int, decompose: bool,
-                   record: bool = False) -> Dict[str, CompilationResult]:
-    program = load_benchmark(name)
-    suite: Dict[str, CompilationResult] = {}
-    for policy in policies:
-        machine = NISQMachine.grid(grid_rows, grid_cols)
-        suite[policy] = compile_on_machine(
-            program, machine, policy,
-            decompose_toffoli=decompose, record_schedule=record,
-        )
-    return suite
+def _compile_suites(session: Session, benchmarks: Sequence[str],
+                    policies: Sequence[str], grid_rows: int, grid_cols: int,
+                    decompose: bool, record: bool = False
+                    ) -> Dict[str, Dict[str, CompilationResult]]:
+    """One suite per benchmark, submitted as a single sweep so a parallel
+    session overlaps the whole benchmark x policy grid."""
+    spec = SweepSpec(
+        benchmarks=tuple(benchmarks),
+        machines=(MachineSpec.nisq_grid(grid_rows, grid_cols),),
+        policies=tuple(policies),
+        config_overrides={"decompose_toffoli": decompose,
+                          "record_schedule": record},
+    )
+    sweep = session.run(spec)
+    return {name: sweep.suite(benchmark=name) for name in benchmarks}
 
 
 def run_aqv(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
             policies: Sequence[str] = AQV_POLICIES,
-            grid_rows: int = 5, grid_cols: int = 5) -> ExperimentResult:
+            grid_rows: int = 5, grid_cols: int = 5,
+            session: Optional[Session] = None) -> ExperimentResult:
     """Figure 8(a): AQV per benchmark per policy."""
+    session = get_session(session)
+    suites = _compile_suites(session, benchmarks, policies, grid_rows,
+                             grid_cols, decompose=True)
     rows = []
     for name in benchmarks:
-        suite = _compile_suite(name, policies, grid_rows, grid_cols,
-                               decompose=True)
+        suite = suites[name]
         row: Dict[str, object] = {"benchmark": name}
         for policy in policies:
             row[policy] = suite[policy].active_quantum_volume
@@ -54,14 +60,16 @@ def run_aqv(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
 def run_success(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
                 policies: Sequence[str] = NOISE_POLICIES,
                 grid_rows: int = 5, grid_cols: int = 5,
-                noise_model: Optional[NoiseModel] = None) -> ExperimentResult:
+                noise_model: Optional[NoiseModel] = None,
+                session: Optional[Session] = None) -> ExperimentResult:
     """Figure 8(b): worst-case analytical success rate per benchmark."""
+    session = get_session(session)
+    suites = _compile_suites(session, benchmarks, policies, grid_rows,
+                             grid_cols, decompose=True)
     rows = []
     improvements = {"vs_eager": [], "vs_lazy": []}
     for name in benchmarks:
-        suite = _compile_suite(name, policies, grid_rows, grid_cols,
-                               decompose=True)
-        rates = success_rates(suite, noise_model)
+        rates = success_rates(suites[name], noise_model)
         row: Dict[str, object] = {"benchmark": name}
         row.update({policy: rates[policy] for policy in policies})
         rows.append(row)
@@ -81,7 +89,8 @@ def run_noise(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
               policies: Sequence[str] = NOISE_POLICIES,
               grid_rows: int = 5, grid_cols: int = 5,
               shots: int = 2048, seed: int = 2020,
-              noise_model: Optional[NoiseModel] = None) -> ExperimentResult:
+              noise_model: Optional[NoiseModel] = None,
+              session: Optional[Session] = None) -> ExperimentResult:
     """Figure 8(c): total variation distance from noisy simulation.
 
     The compiled circuit (with router swaps, Toffolis kept whole so the
@@ -89,14 +98,15 @@ def run_noise(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
     simulator; readout covers the entry module's parameter qubits, and the
     TVD is taken against the ideal (noiseless) outcome.
     """
+    session = get_session(session)
     simulator = MonteCarloSimulator(noise_model=noise_model, seed=seed)
+    suites = _compile_suites(session, benchmarks, policies, grid_rows,
+                             grid_cols, decompose=False, record=True)
     rows = []
     for name in benchmarks:
-        suite = _compile_suite(name, policies, grid_rows, grid_cols,
-                               decompose=False, record=True)
         row: Dict[str, object] = {"benchmark": name}
         for policy in policies:
-            result = suite[policy]
+            result = suites[name][policy]
             circuit = result.to_circuit(physical=True)
             measured = result.entry_param_sites()
             run_result = simulator.run(circuit, shots=shots,

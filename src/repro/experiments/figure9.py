@@ -8,15 +8,15 @@ normalised to the Lazy policy, matching the presentation of Figure 9.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analysis.metrics import arithmetic_mean, normalized_aqv
+from repro.api import Session, SweepSpec
 from repro.experiments.runner import (
     DEFAULT_POLICIES,
     ExperimentResult,
-    compile_policy_suite,
-    load_scaled_benchmark,
-    nisq_machine_factory,
+    get_session,
+    nisq_lattice_spec,
 )
 from repro.workloads.registry import LARGE_BENCHMARKS
 
@@ -25,15 +25,23 @@ POLICIES: Sequence[str] = DEFAULT_POLICIES
 
 def run(benchmarks: Sequence[str] = tuple(LARGE_BENCHMARKS),
         policies: Sequence[str] = POLICIES,
-        scale: str = "laptop") -> ExperimentResult:
+        scale: str = "laptop",
+        session: Optional[Session] = None) -> ExperimentResult:
     """Compile every large benchmark under every policy on lattice machines."""
+    session = get_session(session)
+    spec = SweepSpec(
+        benchmarks=tuple(benchmarks),
+        machines=(nisq_lattice_spec(start_qubits=64),),
+        policies=tuple(policies),
+        scales=(scale,),
+    )
+    sweep = session.run(spec)
+
     rows = []
     reductions = []
     raw: Dict[str, Dict[str, object]] = {}
     for name in benchmarks:
-        program = load_scaled_benchmark(name, scale)
-        suite = compile_policy_suite(program, nisq_machine_factory(),
-                                     policies=policies, start_qubits=64)
+        suite = sweep.suite(benchmark=name)
         normalized = normalized_aqv(suite, baseline="lazy")
         row: Dict[str, object] = {"benchmark": name}
         for policy in policies:

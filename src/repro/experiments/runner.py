@@ -1,67 +1,38 @@
 """Shared experiment infrastructure.
 
-Every experiment module compiles a set of benchmarks under the four
-compiler configurations of the paper (Lazy, Eager, SQUARE-LAA-only and
-SQUARE) on an appropriate machine, then post-processes the
+Every experiment module expands its benchmark x policy grid into a
+:class:`~repro.api.SweepSpec` and executes it through a
+:class:`~repro.api.Session` (passed in by the CLI so all experiments
+share one memo cache and one executor), then post-processes the
 :class:`~repro.core.result.CompilationResult` objects into the rows or
 series of the corresponding table / figure.
+
+The ``compile_*`` helpers at the bottom predate the :mod:`repro.api`
+service and are kept as thin compatibility shims for existing examples
+and scripts; new code should submit jobs to a ``Session`` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.exceptions import ExperimentError, ResourceExhaustedError
+from repro.api import MachineSpec, Session, autosize_compile
 from repro.arch.ft import FTMachine
 from repro.arch.machine import Machine
 from repro.arch.nisq import NISQMachine
 from repro.core.compiler import SquareCompiler, preset
 from repro.core.result import CompilationResult
 from repro.ir.program import Program
-from repro.workloads.registry import load_benchmark
+from repro.workloads.registry import (
+    LAPTOP_SCALE_OVERRIDES,
+    QUICK_SCALE_OVERRIDES,
+    benchmark_overrides,
+    load_scaled_benchmark,
+)
 
 #: Policies evaluated throughout Section V, in presentation order.
-DEFAULT_POLICIES: Tuple[str, ...] = ("lazy", "eager", "square-laa", "square")
-
-#: Benchmark size overrides used for laptop-scale runs of the large
-#: benchmarks (Figures 9 and 10).  The paper compiles the full-width
-#: versions on a workstation; the reduced widths preserve the modular
-#: structure and the relative policy behaviour while keeping a full sweep
-#: in the minutes range.  Pass ``scale="paper"`` to use full widths.
-LAPTOP_SCALE_OVERRIDES: Mapping[str, Dict[str, int]] = {
-    "MUL32": {"width": 12},
-    "MUL64": {"width": 16},
-    "MODEXP": {"width": 4, "exponent_bits": 4},
-    "SHA2": {"word_width": 8, "rounds": 4},
-    "SALSA20": {"word_width": 8, "rounds": 2},
-}
-
-QUICK_SCALE_OVERRIDES: Mapping[str, Dict[str, int]] = {
-    "ADDER32": {"width": 16},
-    "ADDER64": {"width": 24},
-    "MUL32": {"width": 6},
-    "MUL64": {"width": 8},
-    "MODEXP": {"width": 3, "exponent_bits": 3},
-    "SHA2": {"word_width": 4, "rounds": 2},
-    "SALSA20": {"word_width": 4, "rounds": 1},
-}
-
-
-def benchmark_overrides(name: str, scale: str = "laptop") -> Dict[str, int]:
-    """Size overrides for a large benchmark under the given scale."""
-    if scale == "paper":
-        return {}
-    if scale == "quick":
-        return dict(QUICK_SCALE_OVERRIDES.get(name, {}))
-    if scale == "laptop":
-        return dict(LAPTOP_SCALE_OVERRIDES.get(name, {}))
-    raise ExperimentError(f"unknown scale {scale!r}; use quick, laptop or paper")
-
-
-def load_scaled_benchmark(name: str, scale: str = "laptop") -> Program:
-    """Load a benchmark at the requested scale."""
-    return load_benchmark(name, **benchmark_overrides(name, scale))
+DEFAULT_POLICIES: Sequence[str] = ("lazy", "eager", "square-laa", "square")
 
 
 @dataclass
@@ -79,13 +50,43 @@ class ExperimentResult:
     extras: Dict[str, object] = field(default_factory=dict)
 
 
+def get_session(session: Optional[Session] = None) -> Session:
+    """The session an experiment should compile through.
+
+    Experiments accept an optional shared session (the CLI provides one
+    covering the whole invocation, with ``--jobs N`` parallelism); when
+    called directly they fall back to a private serial session.
+    """
+    return session if session is not None else Session()
+
+
+# ----------------------------------------------------------------------
+# Machine-spec shorthands shared by the experiment modules
+# ----------------------------------------------------------------------
+def nisq_lattice_spec(start_qubits: int = 32) -> MachineSpec:
+    """Autosized lattice NISQ machines (Figures 1 and 9)."""
+    return MachineSpec.nisq_autosize(start_qubits=start_qubits)
+
+
+def ft_lattice_spec(start_qubits: int = 32) -> MachineSpec:
+    """Autosized surface-code FT machines (Figure 10)."""
+    return MachineSpec.ft_autosize(start_qubits=start_qubits)
+
+
+# ----------------------------------------------------------------------
+# Pre-``repro.api`` compatibility helpers
+# ----------------------------------------------------------------------
 def compile_on_machine(
     program: Program,
     machine: Machine,
     policy: str,
     **config_overrides,
 ) -> CompilationResult:
-    """Compile one program under one named policy preset."""
+    """Compile one program under one named policy preset.
+
+    Compatibility shim over :class:`~repro.core.compiler.SquareCompiler`;
+    prefer ``Session.compile`` for new code.
+    """
     config = preset(policy, **config_overrides)
     return SquareCompiler(machine, config).compile(program)
 
@@ -102,17 +103,14 @@ def compile_with_autosize(
 
     Lazy compilations can need many more qubits than SQUARE or Eager; the
     paper sweeps machine sizes, and this helper finds the smallest
-    power-of-two-ish machine that accommodates the policy.
+    power-of-two-ish machine that accommodates the policy.  Delegates to
+    the shared :func:`repro.api.autosize_compile` search (the same one
+    autosizing :class:`~repro.api.MachineSpec` jobs run through).
     """
-    qubits = max(start_qubits, program.entry.num_params + 4)
-    while True:
-        machine = machine_factory(qubits)
-        try:
-            return compile_on_machine(program, machine, policy, **config_overrides)
-        except ResourceExhaustedError:
-            if qubits >= max_qubits:
-                raise
-            qubits *= 2
+    return autosize_compile(program, machine_factory,
+                            preset(policy, **config_overrides),
+                            start_qubits=start_qubits,
+                            max_qubits=max_qubits)
 
 
 def compile_policy_suite(

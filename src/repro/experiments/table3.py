@@ -8,39 +8,43 @@ the four columns of Table III — on a 2-D lattice machine of at most
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.arch.nisq import NISQMachine
+from repro.api import MachineSpec, Session, SweepSpec
 from repro.core.result import CompilationResult
-from repro.experiments.runner import ExperimentResult, compile_on_machine
-from repro.workloads.registry import NISQ_BENCHMARKS, load_benchmark
+from repro.experiments.runner import ExperimentResult, get_session
+from repro.workloads.registry import NISQ_BENCHMARKS
 
 POLICIES: Sequence[str] = ("lazy", "eager", "square")
 
 
 def run(benchmarks: Sequence[str] = tuple(NISQ_BENCHMARKS),
         policies: Sequence[str] = POLICIES,
-        grid_rows: int = 5, grid_cols: int = 5) -> ExperimentResult:
+        grid_rows: int = 5, grid_cols: int = 5,
+        session: Optional[Session] = None) -> ExperimentResult:
     """Compile every NISQ benchmark under every policy on one lattice."""
+    session = get_session(session)
+    spec = SweepSpec(
+        benchmarks=tuple(benchmarks),
+        machines=(MachineSpec.nisq_grid(grid_rows, grid_cols),),
+        policies=tuple(policies),
+        config_overrides={"decompose_toffoli": True},
+    )
+    sweep = session.run(spec)
+
     rows = []
     results: Dict[str, Dict[str, CompilationResult]] = {}
-    for name in benchmarks:
-        program = load_benchmark(name)
-        per_policy: Dict[str, CompilationResult] = {}
-        for policy in policies:
-            machine = NISQMachine.grid(grid_rows, grid_cols)
-            result = compile_on_machine(program, machine, policy,
-                                        decompose_toffoli=True)
-            per_policy[policy] = result
-            rows.append({
-                "benchmark": name,
-                "policy": policy,
-                "gates": result.gate_count,
-                "qubits": result.num_qubits_used,
-                "depth": result.circuit_depth,
-                "swaps": result.swap_count,
-            })
-        results[name] = per_policy
+    for entry in sweep:
+        result = entry.result
+        rows.append({
+            "benchmark": entry.job.benchmark,
+            "policy": entry.job.policy_label,
+            "gates": result.gate_count,
+            "qubits": result.num_qubits_used,
+            "depth": result.circuit_depth,
+            "swaps": result.swap_count,
+        })
+        results.setdefault(entry.job.benchmark, {})[entry.job.policy_label] = result
     experiment = ExperimentResult(name="table3", rows=rows)
     experiment.extras["results"] = results
     return experiment

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.api import Session
 from repro.experiments.runner import ExperimentResult
 from repro.noise.models import table_iv_rows
 
 
-def run() -> ExperimentResult:
+def run(session: Optional[Session] = None) -> ExperimentResult:
     """Reproduce Table IV (a configuration table, no compilation needed)."""
     return ExperimentResult(name="table4", rows=table_iv_rows())
 

@@ -1,15 +1,28 @@
 """Benchmark registry: every workload of Table II by name.
 
-The registry maps benchmark names to zero-argument factories producing
+The registry maps benchmark names to factories producing
 :class:`~repro.ir.program.Program` objects, with optional keyword
 overrides (register widths, round counts) for scaling experiments up or
-down.  ``NISQ_BENCHMARKS`` and ``LARGE_BENCHMARKS`` reproduce the two
+down.  Lookup is case-insensitive but every name has one canonical
+capitalisation, used consistently in listings, reports and error
+messages.  ``NISQ_BENCHMARKS`` and ``LARGE_BENCHMARKS`` reproduce the two
 benchmark groups used in Sections V-C and V-D/V-E respectively.
+
+New workloads plug in through :func:`register_benchmark`::
+
+    from repro.workloads.registry import register_benchmark
+
+    @register_benchmark("QFT8")
+    def qft8_program(width=8):
+        ...build and return a Program...
+
+after which ``"QFT8"`` (any capitalisation) works everywhere a built-in
+benchmark name does — ``load_benchmark``, sweep specs, the CLI.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.exceptions import ExperimentError
 from repro.ir.program import Program
@@ -32,33 +45,63 @@ LARGE_BENCHMARKS: List[str] = [
     "Jasmine", "Elsa", "Belle",
 ]
 
-_FACTORIES: Dict[str, Callable[..., Program]] = {
-    "rd53": lambda: rd53(),
-    "6sym": lambda: sym6(),
-    "2of5": lambda: two_of_five(),
-    "adder4": lambda: adder4(),
-    "adder32": lambda width=32: adder_program(width, controlled=True, name="ADDER32"),
-    "adder64": lambda width=64: adder_program(width, controlled=True, name="ADDER64"),
-    "mul32": lambda width=32: multiplier_program(width, controlled=True, name="MUL32"),
-    "mul64": lambda width=64: multiplier_program(width, controlled=True, name="MUL64"),
-    "modexp": lambda width=4, exponent_bits=4: modexp_program(
-        width=width, exponent_bits=exponent_bits),
-    "sha2": lambda word_width=8, rounds=4: sha2_program(
-        word_width=word_width, rounds=rounds),
-    "salsa20": lambda word_width=8, rounds=4: salsa20_program(
-        word_width=word_width, rounds=rounds),
-    "jasmine-s": lambda: synthetic_program("jasmine-s"),
-    "elsa-s": lambda: synthetic_program("elsa-s"),
-    "belle-s": lambda: synthetic_program("belle-s"),
-    "jasmine": lambda: synthetic_program("jasmine"),
-    "elsa": lambda: synthetic_program("elsa"),
-    "belle": lambda: synthetic_program("belle"),
-}
+#: Factories keyed by lowercase name.
+_FACTORIES: Dict[str, Callable[..., Program]] = {}
+
+#: Canonical capitalisation keyed by lowercase name, so listings and
+#: error messages always agree with ``NISQ_BENCHMARKS``/``LARGE_BENCHMARKS``.
+_CANONICAL: Dict[str, str] = {}
+
+
+def register_benchmark(name: str,
+                       factory: Optional[Callable[..., Program]] = None,
+                       *, replace: bool = False):
+    """Register a benchmark factory under canonical name ``name``.
+
+    Usable as a decorator (``@register_benchmark("QFT8")``) or as a direct
+    call (``register_benchmark("QFT8", build_qft8)``).  The factory may
+    accept keyword overrides (e.g. ``width=16``), which
+    :func:`load_benchmark` forwards.
+
+    Raises:
+        ExperimentError: If the name is already registered and ``replace``
+            is False.
+    """
+    key = name.lower()
+
+    def register(f: Callable[..., Program]) -> Callable[..., Program]:
+        if not replace and key in _FACTORIES:
+            raise ExperimentError(
+                f"benchmark {_CANONICAL[key]!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        _FACTORIES[key] = f
+        _CANONICAL[key] = name
+        return f
+
+    if factory is not None:
+        return register(factory)
+    return register
+
+
+def canonical_benchmark_name(name: str) -> str:
+    """The canonical capitalisation of a (case-insensitive) benchmark name.
+
+    Raises:
+        ExperimentError: If the name is unknown, listing the known
+            canonical names.
+    """
+    try:
+        return _CANONICAL[name.lower()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()}"
+        ) from None
 
 
 def benchmark_names() -> List[str]:
     """Every registered benchmark name (canonical capitalisation)."""
-    return NISQ_BENCHMARKS + LARGE_BENCHMARKS
+    return list(_CANONICAL.values())
 
 
 def load_benchmark(name: str, **overrides) -> Program:
@@ -73,15 +116,99 @@ def load_benchmark(name: str, **overrides) -> Program:
         ExperimentError: If the name is unknown or the overrides do not
             apply to that benchmark.
     """
-    key = name.lower()
-    if key not in _FACTORIES:
-        raise ExperimentError(
-            f"unknown benchmark {name!r}; known: {sorted(_FACTORIES)}"
-        )
-    factory = _FACTORIES[key]
+    canonical = canonical_benchmark_name(name)
+    factory = _FACTORIES[canonical.lower()]
     try:
         return factory(**overrides)
     except TypeError as error:
         raise ExperimentError(
-            f"benchmark {name!r} does not accept overrides {overrides}: {error}"
+            f"benchmark {canonical!r} does not accept overrides {overrides}: "
+            f"{error}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in benchmarks (Table II), registered in presentation order.
+# ----------------------------------------------------------------------
+register_benchmark("RD53", lambda: rd53())
+register_benchmark("6SYM", lambda: sym6())
+register_benchmark("2OF5", lambda: two_of_five())
+register_benchmark("ADDER4", lambda: adder4())
+register_benchmark("jasmine-s", lambda: synthetic_program("jasmine-s"))
+register_benchmark("elsa-s", lambda: synthetic_program("elsa-s"))
+register_benchmark("belle-s", lambda: synthetic_program("belle-s"))
+register_benchmark(
+    "ADDER32",
+    lambda width=32: adder_program(width, controlled=True, name="ADDER32"))
+register_benchmark(
+    "ADDER64",
+    lambda width=64: adder_program(width, controlled=True, name="ADDER64"))
+register_benchmark(
+    "MUL32",
+    lambda width=32: multiplier_program(width, controlled=True, name="MUL32"))
+register_benchmark(
+    "MUL64",
+    lambda width=64: multiplier_program(width, controlled=True, name="MUL64"))
+register_benchmark(
+    "MODEXP",
+    lambda width=4, exponent_bits=4: modexp_program(
+        width=width, exponent_bits=exponent_bits))
+register_benchmark(
+    "SHA2",
+    lambda word_width=8, rounds=4: sha2_program(
+        word_width=word_width, rounds=rounds))
+register_benchmark(
+    "SALSA20",
+    lambda word_width=8, rounds=4: salsa20_program(
+        word_width=word_width, rounds=rounds))
+register_benchmark("Jasmine", lambda: synthetic_program("jasmine"))
+register_benchmark("Elsa", lambda: synthetic_program("elsa"))
+register_benchmark("Belle", lambda: synthetic_program("belle"))
+
+
+# ----------------------------------------------------------------------
+# Benchmark scales
+# ----------------------------------------------------------------------
+
+#: Benchmark size scales accepted throughout the experiment layer.
+SCALES = ("quick", "laptop", "paper")
+
+#: Benchmark size overrides used for laptop-scale runs of the large
+#: benchmarks (Figures 9 and 10).  The paper compiles the full-width
+#: versions on a workstation; the reduced widths preserve the modular
+#: structure and the relative policy behaviour while keeping a full sweep
+#: in the minutes range.  Pass ``scale="paper"`` to use full widths.
+LAPTOP_SCALE_OVERRIDES: Mapping[str, Dict[str, int]] = {
+    "MUL32": {"width": 12},
+    "MUL64": {"width": 16},
+    "MODEXP": {"width": 4, "exponent_bits": 4},
+    "SHA2": {"word_width": 8, "rounds": 4},
+    "SALSA20": {"word_width": 8, "rounds": 2},
+}
+
+QUICK_SCALE_OVERRIDES: Mapping[str, Dict[str, int]] = {
+    "ADDER32": {"width": 16},
+    "ADDER64": {"width": 24},
+    "MUL32": {"width": 6},
+    "MUL64": {"width": 8},
+    "MODEXP": {"width": 3, "exponent_bits": 3},
+    "SHA2": {"word_width": 4, "rounds": 2},
+    "SALSA20": {"word_width": 4, "rounds": 1},
+}
+
+
+def benchmark_overrides(name: str, scale: str = "laptop") -> Dict[str, int]:
+    """Size overrides for a large benchmark under the given scale."""
+    key = _CANONICAL.get(name.lower(), name)
+    if scale == "paper":
+        return {}
+    if scale == "quick":
+        return dict(QUICK_SCALE_OVERRIDES.get(key, {}))
+    if scale == "laptop":
+        return dict(LAPTOP_SCALE_OVERRIDES.get(key, {}))
+    raise ExperimentError(f"unknown scale {scale!r}; use quick, laptop or paper")
+
+
+def load_scaled_benchmark(name: str, scale: str = "laptop") -> Program:
+    """Load a benchmark at the requested scale."""
+    return load_benchmark(name, **benchmark_overrides(name, scale))

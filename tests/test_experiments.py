@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import Session
 from repro.experiments import EXPERIMENTS, figure1, figure5, figure8, figure9, figure10, table3, table4
 from repro.experiments.runner import (
     benchmark_overrides,
@@ -38,6 +39,20 @@ class TestExperimentRegistry:
         expected = {"figure1", "figure5", "figure8a", "figure8b", "figure8c",
                     "figure9", "figure10", "table3", "table4"}
         assert expected == set(EXPERIMENTS)
+
+    def test_experiments_share_a_session_cache(self):
+        session = Session()
+        first = table3.run(benchmarks=NISQ_QUICK, policies=("lazy", "square"),
+                           session=session)
+        assert session.cache_misses == len(NISQ_QUICK) * 2
+        second = table3.run(benchmarks=NISQ_QUICK, policies=("lazy", "square"),
+                            session=session)
+        assert session.cache_misses == len(NISQ_QUICK) * 2  # all hits
+        assert first.rows == second.rows
+        # figure8a overlaps table3's (benchmark, policy, config) grid.
+        figure8.run_aqv(benchmarks=NISQ_QUICK, policies=("lazy", "square"),
+                        session=session)
+        assert session.cache_misses == len(NISQ_QUICK) * 2
 
 
 class TestTableExperiments:

@@ -7,6 +7,15 @@ program under every ancilla-reuse policy (in parallel if you pass a
 worker count), and a registry sweep shows the same service driving the
 built-in benchmarks.
 
+The same session scales up from here without code changes:
+
+* ``Session(jobs=4, cache_dir="~/.cache/repro")`` adds a persistent
+  disk cache, so repeated sweeps survive process restarts;
+* ``python -m repro.experiments serve --cache-dir ~/.cache/repro``
+  exposes the session over HTTP, and
+  :class:`repro.service.ServiceClient` mirrors the session surface
+  remotely — see ``examples/service_demo.py`` for the full tour.
+
 Run with:  python examples/quickstart.py [jobs]
 """
 

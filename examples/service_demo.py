@@ -1,0 +1,98 @@
+"""Compilation-as-a-service demo: HTTP endpoint + persistent result cache.
+
+Walks the full service story end to end, over real HTTP:
+
+1. start a compilation server backed by an on-disk result cache,
+2. submit a job (cold: compiled), then the same job again (warm: served
+   from the in-memory memo),
+3. run a sweep containing one impossible job — the batch survives, the
+   bad job comes back as a structured error entry,
+4. restart the server over the same cache directory and submit the job
+   once more: the fresh process reports a *disk* hit and returns a
+   byte-identical result payload.
+
+Every step asserts what it claims, so CI runs this file as the service
+smoke test.  Run with::
+
+    python examples/service_demo.py [cache_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+
+from repro.api import CompileJob, MachineSpec
+from repro.service import ServiceClient, make_server
+
+
+JOB = CompileJob.for_benchmark("RD53", MachineSpec.nisq_grid(5, 5), "square")
+IMPOSSIBLE = CompileJob.for_benchmark("RD53", MachineSpec.nisq(2), "square")
+
+
+def start_server(cache_dir: str):
+    """Start a service on an ephemeral port; returns (server, client)."""
+    server = make_server("127.0.0.1", 0, cache_dir=cache_dir)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    return server, ServiceClient(f"http://{host}:{port}")
+
+
+def stop_server(server) -> None:
+    server.shutdown()
+    server.server_close()
+
+
+def main() -> None:
+    cache_dir = (sys.argv[1] if len(sys.argv) > 1
+                 else tempfile.mkdtemp(prefix="repro-service-demo-"))
+    print(f"cache directory: {cache_dir}")
+
+    # --- first server: cold compile, then warm memory hit --------------
+    server, client = start_server(cache_dir)
+    print(f"server 1 up at {client.base_url}: "
+          f"{client.health()['status']}")
+
+    cold = client.compile_job(JOB)
+    assert cold["ok"] and not cold["cached"] and not cold["disk_hit"]
+    print(f"cold compile : gates={cold['result']['gate_count']} "
+          f"cached={cold['cached']} disk_hit={cold['disk_hit']}")
+
+    warm = client.compile_job(JOB)
+    assert warm["ok"] and warm["cached"] and not warm["disk_hit"]
+    print(f"memory hit   : cached={warm['cached']} "
+          f"disk_hit={warm['disk_hit']}")
+
+    # --- a batch with one impossible job still returns the rest --------
+    sweep = client.run([JOB, IMPOSSIBLE])
+    assert [entry.ok for entry in sweep] == [True, False]
+    failure = sweep.failures()[0].error
+    print(f"isolated failure: {failure.error_type} on "
+          f"{failure.machine_name} (batch of {len(sweep)} survived)")
+
+    stats = client.stats()
+    print(f"server 1 stats: jobs_run={stats['service']['jobs_run']} "
+          f"failures={stats['service']['job_failures']}")
+    stop_server(server)
+
+    # --- second server, same cache dir: results survive the restart ----
+    server2, client2 = start_server(cache_dir)
+    print(f"server 2 up at {client2.base_url} (fresh process, same cache)")
+
+    restored = client2.compile_job(JOB)
+    assert restored["ok"] and restored["cached"] and restored["disk_hit"], \
+        "expected the restarted service to serve the job from disk"
+    assert json.dumps(restored["result"], sort_keys=True) == \
+           json.dumps(cold["result"], sort_keys=True), \
+        "disk-cached payload must be identical to the cold compile"
+    print(f"disk hit     : cached={restored['cached']} "
+          f"disk_hit={restored['disk_hit']} (payload identical)")
+    stop_server(server2)
+
+    print("service demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,11 @@ memoizes repeated jobs and can fan batches out over worker processes::
     print(sweep.table("NISQ benchmarks"))
     sweep.to_csv("results.csv")
 
+Sessions scale past one process: ``Session(cache_dir=...)`` persists
+results on disk across restarts, and :mod:`repro.service` serves the
+same session over HTTP (``python -m repro.experiments serve``) with a
+session-shaped :class:`~repro.service.ServiceClient` on the other end.
+
 Policies and benchmarks are open registries — see
 :func:`repro.core.policies.register_allocation_policy`,
 :func:`repro.core.policies.register_reclamation_policy` and

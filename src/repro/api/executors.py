@@ -6,24 +6,57 @@ into the matching ordered list of
 same :func:`~repro.api.job.execute_job`, so for a deterministic compiler
 (and the SQUARE walk is deterministic) they produce identical results —
 the parallel executor only changes wall-clock time, never numbers.
+
+Each executor offers two batch modes:
+
+* ``run(jobs)`` — all-or-nothing: the first failing job raises.  The
+  parallel executor labels the propagated error with the failing job's
+  benchmark/policy/machine, since a bare worker traceback does not say
+  which of the fanned-out jobs died.
+* ``run_isolated(jobs)`` — per-job isolation: failing jobs yield
+  structured :class:`~repro.core.result.JobFailure` entries in place of
+  results, so one impossible request cannot kill a whole batch.  This is
+  the mode the network service runs in.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
-from repro.api.job import CompileJob, execute_job, execute_job_to_dict
-from repro.core.result import CompilationResult
+from repro.api.job import CompileJob, execute_job, execute_job_payload
+from repro.core.result import CompilationResult, JobFailure
+
+#: What one isolated job execution yields.
+JobOutcome = Union[CompilationResult, JobFailure]
+
+
+def _outcome_from_payload(payload: dict) -> JobOutcome:
+    """Decode one :func:`~repro.api.job.execute_job_payload` payload."""
+    if payload["ok"]:
+        return CompilationResult.from_dict(payload["result"])
+    return JobFailure.from_dict(payload["failure"])
+
+
+def _raise_first_failure(outcomes: Sequence[JobOutcome]) -> None:
+    """Re-raise the first captured failure, labelled with its job."""
+    for outcome in outcomes:
+        if isinstance(outcome, JobFailure):
+            raise outcome.to_exception()
 
 
 class SerialExecutor:
     """Run jobs one after another in the calling process."""
 
     def run(self, jobs: Sequence[CompileJob]) -> List[CompilationResult]:
-        """Execute every job in order."""
+        """Execute every job in order; the first failure raises raw."""
         return [execute_job(job) for job in jobs]
+
+    def run_isolated(self, jobs: Sequence[CompileJob]) -> List[JobOutcome]:
+        """Execute every job, capturing library failures per job."""
+        return [_outcome_from_payload(execute_job_payload(job))
+                for job in jobs]
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -53,17 +86,40 @@ class ParallelExecutor:
             raise ValueError(f"need at least one worker, got {jobs}")
         self.jobs = jobs or os.cpu_count() or 1
 
+    def _map_outcomes(self, jobs: List[CompileJob]) -> List[JobOutcome]:
+        """Run the batch through the pool, capturing per-job failures.
+
+        Workers return tagged payloads rather than raising, so the
+        failing job's identity survives the ``pool.map`` boundary.
+        """
+        if len(jobs) == 1 or self.jobs == 1:
+            return [_outcome_from_payload(execute_job_payload(job))
+                    for job in jobs]
+        workers = min(self.jobs, len(jobs))
+        with multiprocessing.Pool(processes=workers) as pool:
+            payloads = pool.map(execute_job_payload, jobs)
+        return [_outcome_from_payload(payload) for payload in payloads]
+
     def run(self, jobs: Sequence[CompileJob]) -> List[CompilationResult]:
-        """Execute every job, preserving submission order in the results."""
+        """Execute every job, preserving submission order in the results.
+
+        The first failing job re-raises as its original library exception
+        type with the job's benchmark/policy/machine attached to the
+        message.
+        """
         jobs = list(jobs)
         if not jobs:
             return []
-        if len(jobs) == 1 or self.jobs == 1:
-            return [execute_job(job) for job in jobs]
-        workers = min(self.jobs, len(jobs))
-        with multiprocessing.Pool(processes=workers) as pool:
-            payloads = pool.map(execute_job_to_dict, jobs)
-        return [CompilationResult.from_dict(payload) for payload in payloads]
+        outcomes = self._map_outcomes(jobs)
+        _raise_first_failure(outcomes)
+        return outcomes
+
+    def run_isolated(self, jobs: Sequence[CompileJob]) -> List[JobOutcome]:
+        """Execute every job, capturing library failures per job."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        return self._map_outcomes(jobs)
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"

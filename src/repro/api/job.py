@@ -16,9 +16,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from repro.exceptions import ExperimentError, ResourceExhaustedError
+from repro.exceptions import (
+    ExperimentError,
+    ReproError,
+    ResourceExhaustedError,
+)
 from repro.arch.ft import FTMachine
 from repro.arch.machine import IdealMachine, Machine
 from repro.arch.nisq import NISQMachine
@@ -28,7 +32,7 @@ from repro.core.compiler import (
     SquareCompiler,
     preset,
 )
-from repro.core.result import CompilationResult
+from repro.core.result import CompilationResult, JobFailure
 from repro.ir.program import CallStmt, GateStmt, Program, QModule
 from repro.workloads.registry import canonical_benchmark_name, load_benchmark
 
@@ -174,9 +178,48 @@ class MachineSpec:
             return f"{self.kind}-{self.rows}x{self.cols}"
         return f"{self.kind}-{self.num_qubits}"
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary of spec fields."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
-def _config_values(config: CompilerConfig) -> Dict[str, object]:
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MachineSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a subset of it).
+
+        Raises:
+            ExperimentError: On unknown keys, or any combination the
+                constructor itself rejects.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ExperimentError(
+                f"unknown MachineSpec field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        return cls(**dict(data))
+
+
+def config_to_dict(config: CompilerConfig) -> Dict[str, object]:
+    """Serialize a :class:`~repro.core.compiler.CompilerConfig` to a dict."""
     return {f.name: getattr(config, f.name) for f in fields(config)}
+
+
+def config_from_dict(data: Mapping[str, object]) -> CompilerConfig:
+    """Rebuild a :class:`~repro.core.compiler.CompilerConfig` from a dict.
+
+    Raises:
+        ExperimentError: If the dict names unknown config fields.
+    """
+    valid = {f.name for f in fields(CompilerConfig)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ExperimentError(
+            f"unknown CompilerConfig field(s) {unknown}; "
+            f"valid fields: {sorted(valid)}"
+        )
+    return CompilerConfig(**dict(data))
 
 
 def _program_signature(program: Program) -> str:
@@ -232,8 +275,14 @@ def autosize_compile(program: Program,
     at ``max(start_qubits, entry params + 4)`` and double on
     :class:`~repro.exceptions.ResourceExhaustedError` up to ``max_qubits``
     (beyond which the error propagates).
+
+    Every attempted size is clamped to ``max_qubits``: when a doubling
+    overshoots the cap (say ``start_qubits=64, max_qubits=100``), the
+    search tries exactly ``max_qubits`` rather than compiling on a
+    machine larger than the caller allowed, and only re-raises after
+    that capped attempt fails.
     """
-    qubits = max(start_qubits, program.entry.num_params + 4)
+    qubits = min(max(start_qubits, program.entry.num_params + 4), max_qubits)
     while True:
         machine = machine_for(qubits)
         try:
@@ -241,7 +290,7 @@ def autosize_compile(program: Program,
         except ResourceExhaustedError:
             if qubits >= max_qubits:
                 raise
-            qubits *= 2
+            qubits = min(qubits * 2, max_qubits)
 
 
 @dataclass(frozen=True)
@@ -331,12 +380,10 @@ class CompileJob:
                 "program": self.program.name,
                 "signature": _program_signature(self.program),
             }
-        machine_key = {f.name: getattr(self.machine, f.name)
-                       for f in fields(self.machine)}
         return {
             "program": program_key,
-            "machine": machine_key,
-            "config": _config_values(self.config),
+            "machine": self.machine.to_dict(),
+            "config": config_to_dict(self.config),
         }
 
     def fingerprint(self) -> str:
@@ -344,6 +391,74 @@ class CompileJob:
         canonical = json.dumps(self.descriptor(), sort_keys=True,
                                separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the JSON descriptor the network service accepts.
+
+        Only benchmark jobs serialize — the whole point of a descriptor
+        is that the server materialises the program itself.
+
+        Raises:
+            ExperimentError: For in-memory program jobs.
+        """
+        if self.program is not None:
+            raise ExperimentError(
+                f"program job {self.program.name!r} cannot be serialized "
+                f"to a JSON descriptor; register it as a benchmark "
+                f"(repro.workloads.register_benchmark) and submit by name"
+            )
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine.to_dict(),
+            "config": config_to_dict(self.config),
+            "overrides": [[key, value] for key, value in self.overrides],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CompileJob":
+        """Rebuild a job from a JSON descriptor.
+
+        Accepts both the exact :meth:`to_dict` shape and the friendlier
+        hand-written form the HTTP endpoint documents: ``machine`` may be
+        omitted (autosized NISQ), and ``policy`` may name a preset, with
+        ``config`` then holding only the fields to override.
+
+        Raises:
+            ExperimentError: On unknown keys, a missing benchmark name,
+                or config/machine contents their own parsers reject.
+        """
+        allowed = {"benchmark", "machine", "config", "policy", "overrides"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ExperimentError(
+                f"unknown CompileJob descriptor key(s) {unknown}; "
+                f"valid keys: {sorted(allowed)}"
+            )
+        benchmark = data.get("benchmark")
+        if not benchmark:
+            raise ExperimentError(
+                "job descriptor needs a 'benchmark' name; in-memory "
+                "programs cannot cross the service boundary"
+            )
+        machine = data.get("machine")
+        if machine is None:
+            machine = MachineSpec.nisq_autosize()
+        elif isinstance(machine, Mapping):
+            machine = MachineSpec.from_dict(machine)
+        policy = data.get("policy")
+        config_data = data.get("config") or {}
+        if policy is not None:
+            config = preset(policy, **dict(config_data))
+        elif config_data:
+            config = config_from_dict(config_data)
+        else:
+            config = POLICY_PRESETS["square"]
+        overrides = data.get("overrides") or ()
+        if not isinstance(overrides, Mapping):
+            overrides = tuple(tuple(pair) for pair in overrides)
+        return cls(benchmark=benchmark, machine=machine, config=config,
+                   overrides=overrides)
 
 
 def execute_job(job: CompileJob) -> CompilationResult:
@@ -365,9 +480,34 @@ def execute_job(job: CompileJob) -> CompilationResult:
 def execute_job_to_dict(job: CompileJob) -> Dict[str, object]:
     """Execute a job and return the result in serialized form.
 
-    Used by the parallel executor: shipping
-    :meth:`~repro.core.result.CompilationResult.to_dict` output between
-    processes is cheaper than pickling the nested dataclasses, especially
-    with ``record_schedule=False`` where the dict is tiny.
+    Shipping :meth:`~repro.core.result.CompilationResult.to_dict` output
+    between processes is cheaper than pickling the nested dataclasses,
+    especially with ``record_schedule=False`` where the dict is tiny.
     """
     return execute_job(job).to_dict()
+
+
+def job_failure(job: CompileJob, error: Exception) -> JobFailure:
+    """Capture an exception as a structured, serializable failure record."""
+    return JobFailure(
+        program_name=job.program_label,
+        machine_name=job.machine.describe(),
+        policy_name=job.policy_label,
+        error_type=type(error).__name__,
+        message=str(error),
+    )
+
+
+def execute_job_payload(job: CompileJob) -> Dict[str, object]:
+    """Execute a job, capturing library failures (worker-side entry point).
+
+    The parallel executor maps this over its pool: success and failure
+    both come back as small JSON-compatible payloads, so one impossible
+    job can neither tear down the whole ``pool.map`` nor lose track of
+    which job it was.  Programming errors (anything that is not a
+    :class:`~repro.exceptions.ReproError`) still propagate raw.
+    """
+    try:
+        return {"ok": True, "result": execute_job(job).to_dict()}
+    except ReproError as error:
+        return {"ok": False, "failure": job_failure(job, error).to_dict()}

@@ -1,13 +1,15 @@
 """The compilation session: the single front door for running jobs.
 
-A :class:`Session` owns an executor and a memo cache keyed by job
-fingerprints.  Every consumer — the experiment modules, the CLI, the
-examples, a future network service — submits work here, so batching,
-caching and parallelism live in exactly one place::
+A :class:`Session` owns an executor and a two-tier result cache keyed by
+job fingerprints — an in-memory memo, optionally backed by a persistent
+:class:`~repro.service.cache.DiskCache` so repeated sweeps survive
+process restarts.  Every consumer — the experiment modules, the CLI, the
+examples, the network service — submits work here, so batching, caching
+and parallelism live in exactly one place::
 
     from repro.api import MachineSpec, Session, SweepSpec
 
-    session = Session(jobs=4)                   # 4 worker processes
+    session = Session(jobs=4, cache_dir="~/.cache/repro")
     spec = (SweepSpec()
             .with_benchmarks("RD53", "ADDER4")
             .with_machines(MachineSpec.nisq_grid(5, 5))
@@ -25,7 +27,7 @@ from repro.api.executors import ParallelExecutor, SerialExecutor
 from repro.api.job import CompileJob, MachineSpec
 from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.core.compiler import preset
-from repro.core.result import CompilationResult
+from repro.core.result import CompilationResult, JobFailure
 from repro.ir.program import Program
 
 
@@ -33,34 +35,72 @@ class Session:
     """Executes compile jobs with memoization and a pluggable executor.
 
     Identical jobs (same fingerprint) compile once per session; repeats
-    are served from the cache, which makes overlapping sweeps — e.g. the
-    three Figure 8 panels over the same benchmark suite — almost free
-    after the first one.
+    are served from the in-memory cache, which makes overlapping sweeps —
+    e.g. the three Figure 8 panels over the same benchmark suite — almost
+    free after the first one.  With a disk cache attached, results also
+    persist across sessions: a restarted process re-serves earlier
+    compilations from disk instead of recompiling.
 
     Args:
         executor: Explicit executor instance; any object with a
-            ``run(jobs) -> results`` method works.
+            ``run(jobs) -> results`` method works (add ``run_isolated``
+            for failure isolation support).
         jobs: Shorthand when ``executor`` is None: 1 builds a
             :class:`~repro.api.executors.SerialExecutor`, more builds a
             :class:`~repro.api.executors.ParallelExecutor` with that many
             worker processes.
+        disk_cache: Persistent second cache tier; any object with
+            ``get(fingerprint)``/``put(fingerprint, result, job=...)``
+            works, normally a :class:`~repro.service.cache.DiskCache`.
+        cache_dir: Shorthand for ``disk_cache=DiskCache(cache_dir)``.
+        isolate_failures: Default failure-handling mode for :meth:`run`:
+            when True, a job that raises a library error yields a
+            :class:`~repro.core.result.JobFailure` entry instead of
+            killing its batch (the mode the network service runs in).
     """
 
-    def __init__(self, executor=None, jobs: int = 1) -> None:
+    def __init__(self, executor=None, jobs: int = 1, *,
+                 disk_cache=None, cache_dir: Optional[str] = None,
+                 isolate_failures: bool = False) -> None:
         if executor is None:
             executor = SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs)
+        if disk_cache is not None and cache_dir is not None:
+            raise ExperimentError(
+                "pass disk_cache= or cache_dir=, not both"
+            )
+        if cache_dir is not None:
+            # Imported lazily: repro.service sits on top of repro.api.
+            from repro.service.cache import DiskCache
+
+            disk_cache = DiskCache(cache_dir)
         self.executor = executor
+        self.disk_cache = disk_cache
+        self.isolate_failures = isolate_failures
         self._cache: Dict[str, CompilationResult] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.disk_hits = 0
 
     # ------------------------------------------------------------------
-    def run(self, work: Union[SweepSpec, Sequence[CompileJob]]) -> SweepResult:
+    def run(self, work: Union[SweepSpec, Sequence[CompileJob]], *,
+            isolate_failures: Optional[bool] = None) -> SweepResult:
         """Execute a sweep spec or an explicit job list.
 
         Duplicate jobs inside one batch execute once; results come back
         in submission order regardless of executor.
+
+        Args:
+            work: A :class:`~repro.api.sweep.SweepSpec` or job sequence.
+            isolate_failures: Override the session's default mode for
+                this batch; see the class docstring.
+
+        Raises:
+            ExperimentError: If the executor returns the wrong number of
+                results for the batch, or isolation is requested from an
+                executor without a ``run_isolated`` method.
         """
+        isolate = (self.isolate_failures if isolate_failures is None
+                   else isolate_failures)
         jobs = work.jobs() if isinstance(work, SweepSpec) else list(work)
         fingerprints = [job.fingerprint() for job in jobs]
 
@@ -68,26 +108,95 @@ class Session:
         for job, fingerprint in zip(jobs, fingerprints):
             if fingerprint not in self._cache and fingerprint not in pending:
                 pending[fingerprint] = job
+        if self.disk_cache is not None:
+            for fingerprint in list(pending):
+                restored = self.disk_cache.get(fingerprint)
+                if restored is not None:
+                    self._cache[fingerprint] = restored
+                    self.disk_hits += 1
+                    del pending[fingerprint]
+
+        failures: Dict[str, JobFailure] = {}
         fresh = set(pending)
         if pending:
-            results = self.executor.run(list(pending.values()))
-            self._cache.update(zip(pending.keys(), results))
+            outcomes = self._execute(list(pending.values()), isolate)
+            if len(outcomes) != len(pending):
+                raise ExperimentError(
+                    f"executor {self.executor!r} returned {len(outcomes)} "
+                    f"result(s) for a batch of {len(pending)} job(s); "
+                    f"an executor must return exactly one result per job, "
+                    f"in order"
+                )
+            for fingerprint, outcome in zip(pending.keys(), outcomes):
+                if isinstance(outcome, JobFailure):
+                    failures[fingerprint] = outcome
+                    continue
+                self._cache[fingerprint] = outcome
+                if self.disk_cache is not None:
+                    self.disk_cache.put(fingerprint, outcome,
+                                        job=pending[fingerprint])
+            if self.disk_cache is not None:
+                flush = getattr(self.disk_cache, "flush_index", None)
+                if flush is not None:
+                    flush()
+            if failures and not isolate:
+                # Completed work is already cached (memory and disk), so
+                # a rerun after fixing the bad job resumes warm.
+                raise next(iter(failures.values())).to_exception()
 
         entries: List[SweepEntry] = []
         for job, fingerprint in zip(jobs, fingerprints):
-            cached = fingerprint not in fresh
+            failed = fingerprint in failures
+            # Failures are never cached, so every occurrence of a failed
+            # job — including in-batch duplicates — is a miss.
+            cached = not failed and fingerprint not in fresh
             if cached:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
                 fresh.discard(fingerprint)  # later repeats in-batch are hits
-            entries.append(SweepEntry(job=job, result=self._cache[fingerprint],
-                                      cached=cached))
+            if failed:
+                entries.append(SweepEntry(job=job, result=None,
+                                          error=failures[fingerprint],
+                                          cached=False))
+            else:
+                entries.append(SweepEntry(job=job,
+                                          result=self._cache[fingerprint],
+                                          cached=cached))
         return SweepResult(entries)
 
+    def _execute(self, jobs: List[CompileJob], isolate: bool) -> Sequence:
+        """Dispatch one deduplicated batch to the executor.
+
+        Even without isolation the built-in executors run in capturing
+        mode: their successful outcomes make it back into the cache
+        tiers before :meth:`run` re-raises the first failure.  Custom
+        executors without ``run_isolated`` keep their native fail-fast
+        ``run`` behaviour (unless isolation was requested, which then
+        errors).
+        """
+        run_isolated = getattr(self.executor, "run_isolated", None)
+        if run_isolated is not None:
+            return run_isolated(jobs)
+        if isolate:
+            raise ExperimentError(
+                f"executor {self.executor!r} does not support failure "
+                f"isolation; give it a run_isolated(jobs) method or run "
+                f"with isolate_failures=False"
+            )
+        return self.executor.run(jobs)
+
     def submit(self, job: CompileJob) -> CompilationResult:
-        """Execute (or recall) a single job."""
-        return self.run([job])[0].result
+        """Execute (or recall) a single job.
+
+        Raises the job's library error even when the session defaults to
+        failure isolation — a single-job submission has no batch to
+        protect.
+        """
+        entry = self.run([job])[0]
+        if entry.error is not None:
+            raise entry.error.to_exception()
+        return entry.result
 
     def compile(self, program_or_benchmark: Union[str, Program],
                 machine: Optional[MachineSpec] = None,
@@ -123,15 +232,29 @@ class Session:
 
     # ------------------------------------------------------------------
     def clear_cache(self) -> None:
-        """Drop every memoized result."""
+        """Drop every memoized result (the disk tier is left intact)."""
         self._cache.clear()
 
     @property
     def cache_size(self) -> int:
-        """Number of memoized results."""
+        """Number of results memoized in memory."""
         return len(self._cache)
 
+    def stats(self) -> Dict[str, object]:
+        """Cache and executor statistics, JSON-compatible."""
+        stats: Dict[str, object] = {
+            "executor": repr(self.executor),
+            "cache_size": self.cache_size,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "disk_hits": self.disk_hits,
+        }
+        if self.disk_cache is not None:
+            stats["disk_cache"] = self.disk_cache.stats()
+        return stats
+
     def __repr__(self) -> str:
+        disk = "" if self.disk_cache is None else f", disk={self.disk_cache!r}"
         return (f"Session(executor={self.executor!r}, "
                 f"cached={self.cache_size}, hits={self.cache_hits}, "
-                f"misses={self.cache_misses})")
+                f"misses={self.cache_misses}{disk})")

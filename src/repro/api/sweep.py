@@ -13,9 +13,14 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.exceptions import ExperimentError
-from repro.api.job import CompileJob, MachineSpec
+from repro.api.job import (
+    CompileJob,
+    MachineSpec,
+    config_from_dict,
+    config_to_dict,
+)
 from repro.core.compiler import CompilerConfig, preset
-from repro.core.result import CompilationResult
+from repro.core.result import CompilationResult, JobFailure
 from repro.workloads.registry import SCALES, benchmark_overrides
 
 #: A policy is a preset name (``"square"``) or an explicit config.
@@ -110,6 +115,66 @@ class SweepSpec:
         return (len(self.scales) * len(self.benchmarks) * len(self.machines)
                 * len(self.policies))
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the JSON descriptor the network service accepts.
+
+        Named policies serialize as their names; explicit
+        :class:`~repro.core.compiler.CompilerConfig` policies as full
+        field dicts.
+        """
+        return {
+            "benchmarks": list(self.benchmarks),
+            "machines": [machine.to_dict() for machine in self.machines],
+            "policies": [policy if isinstance(policy, str)
+                         else config_to_dict(policy)
+                         for policy in self.policies],
+            "scales": list(self.scales),
+            "config_overrides": dict(self.config_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        """Rebuild a spec from a JSON descriptor; absent keys keep defaults.
+
+        Raises:
+            ExperimentError: On unknown keys or malformed machine/policy
+                entries.
+        """
+        allowed = {"benchmarks", "machines", "policies", "scales",
+                   "config_overrides"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ExperimentError(
+                f"unknown SweepSpec descriptor key(s) {unknown}; "
+                f"valid keys: {sorted(allowed)}"
+            )
+        kwargs: Dict[str, object] = {}
+        if "benchmarks" in data:
+            kwargs["benchmarks"] = tuple(data["benchmarks"])
+        if "machines" in data:
+            kwargs["machines"] = tuple(
+                machine if isinstance(machine, MachineSpec)
+                else MachineSpec.from_dict(machine)
+                for machine in data["machines"]
+            )
+        if "policies" in data:
+            kwargs["policies"] = tuple(
+                policy if isinstance(policy, str)
+                else config_from_dict(policy)
+                for policy in data["policies"]
+            )
+        if "scales" in data:
+            kwargs["scales"] = tuple(data["scales"])
+        if "config_overrides" in data:
+            kwargs["config_overrides"] = dict(data["config_overrides"])
+        return cls(**kwargs)
+
+
+#: Headline metric columns shared by every sweep row.
+ROW_METRIC_KEYS = ("gates", "qubits", "peak_live", "depth", "swaps", "aqv",
+                   "uncompute_gates")
+
 
 @dataclass(frozen=True)
 class SweepEntry:
@@ -117,25 +182,50 @@ class SweepEntry:
 
     Attributes:
         job: The job as submitted.
-        result: Its compilation result.
+        result: Its compilation result, or None when the job failed
+            under failure isolation.
+        error: The structured failure record when the job raised instead
+            of completing (failure isolation only); None on success.
         cached: True when the session served the result from its memo
             cache instead of executing the job.
     """
 
     job: CompileJob
-    result: CompilationResult
+    result: Optional[CompilationResult]
+    error: Optional[JobFailure] = None
     cached: bool = False
 
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.error is None):
+            raise ExperimentError(
+                "SweepEntry needs exactly one of result= or error="
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a result."""
+        return self.error is None
+
     def row(self) -> Dict[str, object]:
-        """Flat table row: job coordinates + headline metrics."""
+        """Flat table row: job coordinates + headline metrics.
+
+        Failed entries keep the same coordinate columns, leave the metric
+        columns empty, and add an ``error`` column, so mixed sweeps still
+        tabulate and export cleanly.
+        """
         row: Dict[str, object] = {
             "benchmark": self.job.program_label,
             "policy": self.job.policy_label,
-            "machine": self.result.machine_name,
         }
+        if self.error is not None:
+            row["machine"] = self.error.machine_name
+            for key in ROW_METRIC_KEYS:
+                row[key] = ""
+            row["error"] = self.error.describe()
+            return row
+        row["machine"] = self.result.machine_name
         summary = self.result.summary()
-        for key in ("gates", "qubits", "peak_live", "depth", "swaps", "aqv",
-                    "uncompute_gates"):
+        for key in ROW_METRIC_KEYS:
             row[key] = summary[key]
         return row
 
@@ -160,9 +250,23 @@ class SweepResult:
     def __getitem__(self, index: int) -> SweepEntry:
         return self.entries[index]
 
-    def results(self) -> List[CompilationResult]:
-        """Every result, in job-submission order."""
+    def results(self) -> List[Optional[CompilationResult]]:
+        """Every result, in job-submission order.
+
+        Entries that failed under failure isolation contribute None;
+        check :attr:`ok` or :meth:`failures` first when a batch may
+        contain failures.
+        """
         return [entry.result for entry in self.entries]
+
+    def failures(self) -> List[SweepEntry]:
+        """The entries whose jobs failed, in job-submission order."""
+        return [entry for entry in self.entries if not entry.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every entry completed successfully."""
+        return all(entry.ok for entry in self.entries)
 
     @property
     def cache_hits(self) -> int:
@@ -194,6 +298,8 @@ class SweepResult:
 
         Raises:
             ExperimentError: If no entry, or more than one, matches.
+            ReproError: The matched job's own error, when it failed under
+                failure isolation.
         """
         matches = self.filter(benchmark=benchmark, policy=policy,
                               machine=machine)
@@ -202,7 +308,10 @@ class SweepResult:
                 f"expected exactly one result for benchmark={benchmark!r} "
                 f"policy={policy!r}, found {len(matches)}"
             )
-        return matches[0].result
+        entry = matches[0]
+        if entry.error is not None:
+            raise entry.error.to_exception()
+        return entry.result
 
     def suite(self, benchmark: Optional[str] = None,
               machine: Optional[MachineSpec] = None
@@ -216,10 +325,15 @@ class SweepResult:
             ExperimentError: If two in-scope entries share a policy label
                 (i.e. the scope still spans several machines or scales) —
                 narrow it with ``benchmark``/``machine`` filters first.
+            ReproError: An in-scope job's own error, when it failed under
+                failure isolation — a suite of results must not silently
+                hold a None.
         """
         scoped = self.filter(benchmark=benchmark, machine=machine)
         suite: Dict[str, CompilationResult] = {}
         for entry in scoped:
+            if entry.error is not None:
+                raise entry.error.to_exception()
             label = entry.job.policy_label
             if label in suite:
                 raise ExperimentError(
@@ -232,8 +346,17 @@ class SweepResult:
 
     # ------------------------------------------------------------------
     def rows(self) -> List[Dict[str, object]]:
-        """Flat table rows for every entry."""
-        return [entry.row() for entry in self.entries]
+        """Flat table rows for every entry.
+
+        When any entry failed, every row carries the ``error`` column
+        (empty for successes) so the row schema stays uniform for CSV
+        export and table rendering.
+        """
+        rows = [entry.row() for entry in self.entries]
+        if any("error" in row for row in rows):
+            for row in rows:
+                row.setdefault("error", "")
+        return rows
 
     def table(self, title: Optional[str] = None) -> str:
         """Aligned text table of the headline metrics."""
@@ -261,7 +384,9 @@ class SweepResult:
                 {"benchmark": entry.job.program_label,
                  "policy": entry.job.policy_label,
                  "fingerprint": entry.job.fingerprint(),
-                 "result": entry.result.to_dict()}
+                 "ok": entry.ok,
+                 **({"result": entry.result.to_dict()} if entry.ok
+                    else {"error": entry.error.to_dict()})}
                 for entry in self.entries
             ]
         else:

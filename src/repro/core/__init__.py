@@ -38,7 +38,7 @@ from repro.core.reclamation import (
     ReclamationPolicy,
     ReclamationRequest,
 )
-from repro.core.result import CompilationResult, ReclamationEvent
+from repro.core.result import CompilationResult, JobFailure, ReclamationEvent
 
 __all__ = [
     "AllocationPolicy",
@@ -50,6 +50,7 @@ __all__ = [
     "CompilerConfig",
     "CostEffectiveReclamation",
     "EagerReclamation",
+    "JobFailure",
     "LazyReclamation",
     "LifoAllocation",
     "LocalityAwareAllocation",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cost_model import ReclamationCosts
 from repro.ir.circuit import Circuit
@@ -31,6 +31,84 @@ class ReclamationEvent:
     costs: Optional[ReclamationCosts] = None
 
 
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a compile job that raised instead of finishing.
+
+    When a :class:`~repro.api.session.Session` runs with failure
+    isolation (the mode the network service uses), a job that raises a
+    library error does not kill its batch; it yields one of these
+    instead, carrying the job's coordinates and the error.  The record is
+    JSON-serializable, so it travels across process and HTTP boundaries
+    exactly like a :class:`CompilationResult`.
+
+    Attributes:
+        program_name: Display name of the job's program/benchmark.
+        machine_name: The job's machine spec label
+            (:meth:`~repro.api.job.MachineSpec.describe`).
+        policy_name: The job's policy label.
+        error_type: Class name of the raised exception, e.g.
+            ``"ResourceExhaustedError"``.
+        message: The exception message.
+    """
+
+    program_name: str
+    machine_name: str
+    policy_name: str
+    error_type: str
+    message: str
+
+    #: Failures answer False where results answer True, so service
+    #: consumers can branch on ``entry.ok`` without type checks.
+    ok: ClassVar[bool] = False
+
+    def describe(self) -> str:
+        """Short ``ErrorType: message`` label for tables and logs."""
+        return f"{self.error_type}: {self.message}"
+
+    def to_exception(self) -> Exception:
+        """Rebuild a raisable exception carrying the job's coordinates.
+
+        The original exception class is recovered from
+        :mod:`repro.exceptions` by name, so callers catching e.g.
+        :class:`~repro.exceptions.ResourceExhaustedError` behave the same
+        whether the job ran in-process, in a worker pool, or on a remote
+        service; unknown types degrade to
+        :class:`~repro.exceptions.ExperimentError`.
+        """
+        import repro.exceptions as _exceptions
+
+        exc_class = getattr(_exceptions, self.error_type, None)
+        if not (isinstance(exc_class, type)
+                and issubclass(exc_class, _exceptions.ReproError)):
+            exc_class = _exceptions.ExperimentError
+        return exc_class(
+            f"{self.message} [job: benchmark={self.program_name}, "
+            f"policy={self.policy_name}, machine={self.machine_name}]"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "program_name": self.program_name,
+            "machine_name": self.machine_name,
+            "policy_name": self.policy_name,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobFailure":
+        """Rebuild a failure record from :meth:`to_dict` output."""
+        return cls(
+            program_name=data["program_name"],
+            machine_name=data["machine_name"],
+            policy_name=data["policy_name"],
+            error_type=data["error_type"],
+            message=data["message"],
+        )
+
+
 @dataclass
 class CompilationResult:
     """Everything the SQUARE compiler reports for one program.
@@ -39,6 +117,9 @@ class CompilationResult:
     (excluding router swaps), qubit footprint, circuit depth and swap
     count, plus the Active Quantum Volume used throughout the evaluation.
     """
+
+    #: Mirror of :attr:`JobFailure.ok` so mixed batches branch uniformly.
+    ok: ClassVar[bool] = True
 
     program_name: str
     machine_name: str

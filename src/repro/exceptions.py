@@ -63,3 +63,14 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness is misconfigured."""
+
+
+class ServiceError(ReproError):
+    """Raised when the compilation service (client or server) fails.
+
+    Covers transport problems (service unreachable), protocol problems
+    (malformed request/response payloads) and server-side faults reported
+    over HTTP.  Compile-job failures themselves are *not* service errors:
+    they come back as structured :class:`repro.core.result.JobFailure`
+    entries and re-raise as the original library exception type.
+    """

@@ -4,14 +4,21 @@ All commands compile through one shared :class:`~repro.api.Session`, so
 ``--jobs N`` parallelises any experiment across N worker processes and
 overlapping experiments (e.g. ``all``) reuse each other's results.
 
+With ``--cache-dir`` the session is backed by a persistent
+:class:`~repro.service.cache.DiskCache`, so rerunning a sweep after a
+process restart serves repeated jobs from disk instead of recompiling;
+``serve`` exposes the same session over HTTP (see :mod:`repro.service`).
+
 Examples::
 
     python -m repro.experiments table3
     python -m repro.experiments figure9 --scale quick --jobs 4
     python -m repro.experiments all --scale quick --export rows.json
     python -m repro.experiments sweep RD53 ADDER4 --policies lazy square \\
-        --grid 5 5 --export sweep.csv
+        --grid 5 5 --export sweep.csv --cache-dir ~/.cache/repro
     python -m repro.experiments compile MODEXP --policy square --scale quick
+    python -m repro.experiments serve --port 8731 --jobs 4 \\
+        --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -56,6 +63,13 @@ def _run_experiment(name: str, session: Session,
     return text, experiment.rows
 
 
+def _cache_note(session: Session) -> str:
+    """Disk-cache telemetry suffix for command summaries."""
+    if session.disk_cache is None:
+        return ""
+    return f", {session.disk_hits} disk hits"
+
+
 def _run_sweep(session: Session, args: argparse.Namespace) -> tuple[str, list]:
     benchmarks = tuple(args.names) or tuple(benchmark_names())
     spec = SweepSpec(
@@ -71,7 +85,7 @@ def _run_sweep(session: Session, args: argparse.Namespace) -> tuple[str, list]:
              f"{len(spec.policies)} policy(ies) at scale {args.scale}")
     text = (sweep.table(title)
             + f"\n[{len(sweep)} jobs completed in {elapsed:.1f}s, "
-            f"{sweep.cache_hits} cache hits]\n")
+            f"{sweep.cache_hits} cache hits{_cache_note(session)}]\n")
     return text, sweep.rows()
 
 
@@ -94,11 +108,15 @@ def _run_compile(session: Session, args: argparse.Namespace) -> tuple[str, list]
                                  overrides=overrides)
         for policy in policies
     ])
-    rows = [entry.result.summary() for entry in sweep]
+    # Same row schema as `sweep`, so --export output from the two
+    # commands concatenates and diffs cleanly.
+    rows = sweep.rows()
     from repro.analysis.report import format_comparison
 
     text = format_comparison(
         f"compile {benchmark} under {', '.join(policies)}", rows)
+    text += f"\n[{len(sweep)} jobs, {sweep.cache_hits} cache hits" \
+            f"{_cache_note(session)}]\n"
     return text, rows
 
 
@@ -110,9 +128,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
-                                                       "compile"],
-                        help="which table/figure to regenerate, or `sweep` / "
-                             "`compile` for ad-hoc jobs")
+                                                       "compile", "serve"],
+                        help="which table/figure to regenerate, `sweep` / "
+                             "`compile` for ad-hoc jobs, or `serve` to "
+                             "expose the session over HTTP")
     parser.add_argument("names", nargs="*",
                         help="benchmark names for `sweep` (default: all) "
                              "and `compile`")
@@ -136,7 +155,36 @@ def main(argv: list[str] | None = None) -> int:
                         help="explicit lattice dimensions (NISQ/FT)")
     parser.add_argument("--start-qubits", type=int, default=64, metavar="N",
                         help="initial machine size when autosizing")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persistent result cache directory; repeated "
+                             "jobs are served from disk across runs")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="bind address for `serve`")
+    parser.add_argument("--port", type=int, default=8731, metavar="PORT",
+                        help="TCP port for `serve` (0 = ephemeral)")
     args = parser.parse_args(argv)
+
+    if args.experiment != "serve" and (args.host != "127.0.0.1"
+                                       or args.port != 8731):
+        parser.error("--host/--port only apply to `serve`")
+    if args.experiment == "serve":
+        for flag, given in (("--export", args.export),
+                            ("--scale", args.scale != "laptop"),
+                            ("benchmark names", args.names),
+                            ("--policies", args.policies),
+                            ("--machine", args.machine != "nisq"),
+                            ("--machine-qubits",
+                             args.machine_qubits is not None),
+                            ("--grid", args.grid),
+                            ("--start-qubits", args.start_qubits != 64)):
+            if given:
+                parser.error(f"{flag} does not apply to `serve`; clients "
+                             f"choose per request")
+        from repro.service import serve
+
+        serve(args.host, args.port, jobs=args.jobs,
+              cache_dir=args.cache_dir)
+        return 0
 
     if args.experiment not in ("sweep", "compile"):
         ignored = []
@@ -159,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"grid"
             )
 
-    session = Session(jobs=args.jobs)
+    session = Session(jobs=args.jobs, cache_dir=args.cache_dir)
     exported_rows: list = []
     if args.experiment == "sweep":
         text, rows = _run_sweep(session, args)

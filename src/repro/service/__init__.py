@@ -1,0 +1,50 @@
+"""Network compilation service: HTTP endpoint + persistent result cache.
+
+Everything the in-process :mod:`repro.api` session does, served over
+HTTP with results that survive restarts:
+
+* :class:`DiskCache` — persistent on-disk result store keyed by job
+  fingerprint; plugs into :class:`~repro.api.session.Session` as the
+  second cache tier behind the in-memory memo.
+* :class:`CompilationService` / :func:`make_server` / :func:`serve` —
+  the stdlib-only HTTP endpoint dispatching JSON job and sweep
+  descriptors to one shared memoizing session.
+* :class:`ServiceClient` — session-shaped client, so experiments can
+  run against a remote service by swapping one object.
+
+Quick start (one process)::
+
+    from repro.service import ServiceClient, make_server
+    import threading
+
+    server = make_server("127.0.0.1", 0, cache_dir="/tmp/repro-cache")
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+
+    client = ServiceClient(f"http://{host}:{port}")
+    result = client.compile("RD53", policy="square")
+
+Or from the command line: ``python -m repro.experiments serve
+--cache-dir /tmp/repro-cache``.
+"""
+
+from repro.service.cache import CACHE_VERSION, DiskCache
+from repro.service.client import ServiceClient
+from repro.service.server import (
+    DEFAULT_PORT,
+    CompilationService,
+    ServiceHTTPHandler,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CompilationService",
+    "DEFAULT_PORT",
+    "DiskCache",
+    "ServiceClient",
+    "ServiceHTTPHandler",
+    "make_server",
+    "serve",
+]

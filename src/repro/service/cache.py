@@ -1,0 +1,234 @@
+"""Persistent on-disk result cache keyed by job fingerprint.
+
+The :class:`DiskCache` is the second tier behind a
+:class:`~repro.api.session.Session`'s in-memory memo: every fresh
+compilation is written through as one JSON file per fingerprint, so a
+restarted process (or a second process sharing the cache directory)
+re-serves earlier results instead of recompiling.
+
+Layout of a cache directory::
+
+    <root>/
+        index.json            # advisory metadata listing, rebuildable
+        results/
+            <fingerprint>.json
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a crashed or killed writer can never leave a half-written payload under
+a live fingerprint.  Reads are corruption-tolerant: an unreadable,
+truncated or mislabelled payload counts as a miss (and is recorded in
+:meth:`DiskCache.stats`), after which the session simply recompiles and
+rewrites the entry.  The index is purely advisory — membership always
+comes from the payload files — and is rebuilt from them when missing or
+corrupt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.result import CompilationResult
+
+#: Payload schema version; bump on incompatible layout changes.
+CACHE_VERSION = 1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file)."""
+    handle, temp_name = tempfile.mkstemp(dir=str(path.parent),
+                                         prefix=path.name + ".",
+                                         suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+class DiskCache:
+    """Maps job fingerprints to persisted :class:`CompilationResult` payloads.
+
+    Safe for concurrent use from one process (writes serialize on an
+    internal lock); multiple processes may share a directory — atomic
+    replace keeps payloads consistent, and last-writer-wins is correct
+    because equal fingerprints mean equal jobs mean (deterministic
+    compiler) equal results.
+
+    Args:
+        root: Cache directory; created (with parents) if missing.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root).expanduser()
+        self.results_dir = self.root / "results"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.root / "index.json"
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self._index_dirty = False
+        self._index: Dict[str, Dict[str, object]] = self._load_index()
+
+    # ------------------------------------------------------------------
+    def _result_path(self, fingerprint: str) -> Path:
+        return self.results_dir / f"{fingerprint}.json"
+
+    def _load_index(self) -> Dict[str, Dict[str, object]]:
+        """Load the advisory index, rebuilding it when missing, corrupt
+        or stale (index writes are deferred to :meth:`flush_index`, so a
+        killed process can leave the file behind the payload files)."""
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+            entries = data["entries"]
+            if data.get("version") != CACHE_VERSION or not isinstance(
+                    entries, dict):
+                raise ValueError("index schema mismatch")
+            if len(entries) != len(self):
+                raise ValueError("index is stale")
+            return entries
+        except (OSError, ValueError, KeyError, TypeError):
+            self._index_dirty = True
+            return self._rebuild_index()
+
+    def _rebuild_index(self) -> Dict[str, Dict[str, object]]:
+        """Reconstruct index metadata by scanning the payload files."""
+        entries: Dict[str, Dict[str, object]] = {}
+        for path in sorted(self.results_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                fingerprint = payload["fingerprint"]
+                if fingerprint != path.stem:
+                    continue
+                entries[fingerprint] = dict(payload.get("job") or {})
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+        return entries
+
+    def _write_index(self) -> None:
+        payload = {"version": CACHE_VERSION, "entries": self._index}
+        _atomic_write_text(self.index_path,
+                           json.dumps(payload, sort_keys=True, indent=1))
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[CompilationResult]:
+        """Fetch a persisted result, or None on miss or corruption."""
+        path = self._result_path(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if payload.get("version") != CACHE_VERSION:
+                raise ValueError("payload schema mismatch")
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError("payload fingerprint mismatch")
+            result = CompilationResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self.corrupt += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: CompilationResult,
+            job=None) -> None:
+        """Persist one result under its fingerprint (atomic write-through).
+
+        Only the payload file is written here; the advisory index is
+        updated in memory and persisted by :meth:`flush_index` (which a
+        :class:`~repro.api.session.Session` calls once per batch), so a
+        large shared cache is not re-serialized on every single put.
+
+        Args:
+            fingerprint: The job fingerprint keying the entry.
+            result: The compilation result to persist.
+            job: Optional :class:`~repro.api.job.CompileJob`; when given,
+                its coordinates are recorded in the payload and the
+                index, making cache directories self-describing.
+        """
+        payload: Dict[str, object] = {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "result": result.to_dict(),
+        }
+        meta: Dict[str, object] = {}
+        if job is not None:
+            meta = {
+                "benchmark": job.program_label,
+                "policy": job.policy_label,
+                "machine": job.machine.describe(),
+            }
+            payload["job"] = meta
+        with self._lock:
+            _atomic_write_text(self._result_path(fingerprint),
+                               json.dumps(payload, sort_keys=True))
+            self._index[fingerprint] = meta
+            self._index_dirty = True
+            self.writes += 1
+
+    def flush_index(self) -> None:
+        """Persist pending index updates (cheap no-op when clean).
+
+        Membership and reads never depend on the index, and a stale
+        index is rebuilt on the next :class:`DiskCache` construction, so
+        deferring this between batches is always safe.
+        """
+        with self._lock:
+            if self._index_dirty:
+                self._write_index()
+                self._index_dirty = False
+
+    # ------------------------------------------------------------------
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._result_path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.results_dir.glob("*.json"))
+
+    def fingerprints(self) -> List[str]:
+        """Every persisted fingerprint, sorted."""
+        return sorted(path.stem for path in self.results_dir.glob("*.json"))
+
+    def entries(self) -> Dict[str, Dict[str, object]]:
+        """Advisory metadata (job coordinates) per fingerprint."""
+        return dict(self._index)
+
+    def clear(self) -> None:
+        """Delete every persisted result and reset the index."""
+        with self._lock:
+            for path in self.results_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self._index = {}
+            self._write_index()
+            self._index_dirty = False
+
+    def stats(self) -> Dict[str, object]:
+        """Counters + size, JSON-compatible (for service telemetry)."""
+        return {
+            "root": str(self.root),
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "writes": self.writes,
+        }
+
+    def __repr__(self) -> str:
+        return (f"DiskCache(root={str(self.root)!r}, size={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

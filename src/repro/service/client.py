@@ -1,0 +1,189 @@
+"""Thin HTTP client for the compilation service.
+
+:class:`ServiceClient` mirrors the :class:`~repro.api.session.Session`
+surface — ``compile``/``submit``/``run`` — but executes on a remote
+service, so an experiment script can switch between in-process and
+remote compilation by swapping one object::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8731")
+    result = client.compile("RD53", policy="square")
+    sweep = client.run(SweepSpec().with_benchmarks("RD53", "ADDER4"))
+
+Pure stdlib (``urllib``).  Transport and protocol problems raise
+:class:`~repro.exceptions.ServiceError`; a job that failed on the server
+re-raises client-side as its original library exception type (via
+:meth:`~repro.core.result.JobFailure.to_exception`), exactly like a
+local session would.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ServiceError
+from repro.api.job import CompileJob, MachineSpec
+from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
+from repro.core.compiler import preset
+from repro.core.result import CompilationResult, JobFailure
+
+
+class ServiceClient:
+    """Talks JSON to a running compilation service endpoint.
+
+    Args:
+        base_url: Service root, e.g. ``"http://127.0.0.1:8731"``.
+        timeout: Per-request timeout in seconds.  Compilation happens
+            synchronously inside the request, so size this to the
+            largest job you submit.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, object]] = None) -> Dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as error:
+            raise ServiceError(self._http_error_message(path, error)) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach compilation service at {self.base_url}: "
+                f"{error.reason}"
+            ) from None
+        try:
+            decoded = json.loads(body)
+        except ValueError as error:
+            raise ServiceError(
+                f"{path} returned invalid JSON: {error}"
+            ) from None
+        if not isinstance(decoded, dict):
+            raise ServiceError(f"{path} returned a non-object JSON payload")
+        return decoded
+
+    @staticmethod
+    def _http_error_message(path: str, error: urllib.error.HTTPError) -> str:
+        detail = ""
+        try:
+            payload = json.loads(error.read())
+            detail = payload["error"]["message"]
+        except Exception:
+            pass
+        suffix = f": {detail}" if detail else ""
+        return f"{path} failed with HTTP {error.code}{suffix}"
+
+    def _get(self, path: str) -> Dict:
+        return self._request("GET", path)
+
+    def _post(self, path: str, payload: Mapping[str, object]) -> Dict:
+        return self._request("POST", path, payload)
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        """``GET /health`` payload."""
+        return self._get("/health")
+
+    def stats(self) -> Dict:
+        """``GET /stats`` payload (session/cache/telemetry counters)."""
+        return self._get("/stats")
+
+    def registry(self) -> Dict:
+        """``GET /registry`` payload (benchmarks, policies, machines)."""
+        return self._get("/registry")
+
+    # ------------------------------------------------------------------
+    def compile_job(self, job: Union[CompileJob, Mapping[str, object]]
+                    ) -> Dict:
+        """``POST /compile`` one job; returns the raw response payload.
+
+        The payload keeps the provenance flags (``cached``,
+        ``disk_hit``) alongside the serialized result or error — use
+        :meth:`submit` when only the result matters.
+        """
+        descriptor = job.to_dict() if isinstance(job, CompileJob) else job
+        return self._post("/compile", {"job": descriptor})
+
+    def submit(self, job: Union[CompileJob, Mapping[str, object]]
+               ) -> CompilationResult:
+        """Compile one job remotely, raising its error on failure."""
+        response = self.compile_job(job)
+        if not response.get("ok"):
+            raise JobFailure.from_dict(response["error"]).to_exception()
+        return CompilationResult.from_dict(response["result"])
+
+    def compile(self, benchmark: str,
+                machine: Optional[MachineSpec] = None,
+                policy: str = "square",
+                overrides: Optional[Dict[str, object]] = None,
+                **config_overrides) -> CompilationResult:
+        """Convenience single compilation, mirroring ``Session.compile``.
+
+        Only registered benchmark names work remotely — in-memory
+        programs cannot cross the service boundary.
+        """
+        job = CompileJob(
+            benchmark=benchmark,
+            machine=machine or MachineSpec.nisq_autosize(),
+            config=preset(policy, **config_overrides),
+            overrides=tuple(sorted((overrides or {}).items())),
+        )
+        return self.submit(job)
+
+    def run(self, work: Union[SweepSpec, Sequence[CompileJob]]
+            ) -> SweepResult:
+        """Execute a sweep spec or job list remotely, like ``Session.run``.
+
+        Failed jobs come back as failure entries (the service always
+        isolates), so one impossible job never loses the rest of the
+        batch.
+        """
+        if isinstance(work, SweepSpec):
+            jobs = work.jobs()
+            response = self._post("/sweep", {"spec": work.to_dict()})
+        else:
+            jobs = list(work)
+            response = self._post(
+                "/sweep", {"jobs": [job.to_dict() for job in jobs]})
+        records = response.get("entries")
+        if not isinstance(records, list) or len(records) != len(jobs):
+            got = len(records) if isinstance(records, list) else "no"
+            raise ServiceError(
+                f"/sweep returned {got} entries for {len(jobs)} submitted "
+                f"job(s)"
+            )
+        entries: List[SweepEntry] = []
+        for job, record in zip(jobs, records):
+            if record.get("ok"):
+                entries.append(SweepEntry(
+                    job=job,
+                    result=CompilationResult.from_dict(record["result"]),
+                    cached=bool(record.get("cached", False)),
+                ))
+            else:
+                entries.append(SweepEntry(
+                    job=job,
+                    result=None,
+                    error=JobFailure.from_dict(record["error"]),
+                    cached=bool(record.get("cached", False)),
+                ))
+        return SweepResult(entries)
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(base_url={self.base_url!r})"

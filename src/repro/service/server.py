@@ -1,0 +1,300 @@
+"""HTTP compilation service: the `repro.api` Session over a network endpoint.
+
+Pure stdlib (:class:`http.server.ThreadingHTTPServer`), one shared
+memoizing :class:`~repro.api.session.Session` behind a lock, optional
+persistent :class:`~repro.service.cache.DiskCache` — so any number of
+clients share one warm cache that survives restarts.  Jobs always run
+with failure isolation: a request for an impossible machine comes back
+as a structured error entry, never as a dead batch or a dead server.
+
+Endpoints (all JSON):
+
+* ``GET  /health``   — liveness probe.
+* ``GET  /stats``    — session/cache/telemetry counters.
+* ``GET  /registry`` — available benchmarks, policies, machine kinds,
+  scales.
+* ``POST /compile``  — one job descriptor (see
+  :meth:`~repro.api.job.CompileJob.from_dict`); returns the result
+  payload plus ``cached``/``disk_hit`` provenance flags.
+* ``POST /sweep``    — ``{"spec": {...}}`` sweep descriptor or
+  ``{"jobs": [...]}`` explicit job list; returns per-entry payloads,
+  table rows and cache stats.
+
+Start one from the CLI with ``python -m repro.experiments serve`` or
+programmatically with :func:`make_server`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import ReproError, ServiceError
+from repro.api.job import CompileJob, MACHINE_KINDS
+from repro.api.session import Session
+from repro.api.sweep import SweepSpec
+from repro.core.compiler import POLICY_PRESETS
+from repro.workloads.registry import SCALES, benchmark_names
+
+#: Default TCP port for the compilation service.
+DEFAULT_PORT = 8731
+
+
+class CompilationService:
+    """The transport-independent service core: one shared session + lock.
+
+    A :class:`~repro.api.session.Session` is not thread-safe, and the
+    threading HTTP server handles each request on its own thread, so
+    every session interaction serializes on one lock.  Parallelism still
+    comes from the session's own :class:`~repro.api.executors.ParallelExecutor`
+    workers — the lock only orders *batches*, it does not serialize
+    compilation itself.
+
+    Args:
+        session: Explicit session to serve; defaults to a new one.
+        jobs: Worker process count for the default session.
+        cache_dir: Persistent cache directory for the default session.
+    """
+
+    def __init__(self, session: Optional[Session] = None, *, jobs: int = 1,
+                 cache_dir: Optional[str] = None) -> None:
+        if session is None:
+            session = Session(jobs=jobs, cache_dir=cache_dir)
+        self.session = session
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests = 0
+        self.jobs_run = 0
+        self.job_failures = 0
+
+    # ------------------------------------------------------------------
+    def compile(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """Run one job descriptor; never raises for job-level failures.
+
+        Accepts either a bare :meth:`~repro.api.job.CompileJob.from_dict`
+        descriptor or ``{"job": {...}}``.
+        """
+        descriptor = payload.get("job", payload)
+        if not isinstance(descriptor, Mapping):
+            raise ServiceError("'job' must be a job descriptor object")
+        job = CompileJob.from_dict(descriptor)
+        with self._lock:
+            disk_hits_before = self.session.disk_hits
+            entry = self.session.run([job], isolate_failures=True)[0]
+            disk_hit = self.session.disk_hits > disk_hits_before
+            self.requests += 1
+            self.jobs_run += 1
+            if not entry.ok:
+                self.job_failures += 1
+        response: Dict[str, object] = {
+            "ok": entry.ok,
+            "fingerprint": job.fingerprint(),
+            "cached": entry.cached,
+            "disk_hit": disk_hit,
+        }
+        if entry.ok:
+            response["result"] = entry.result.to_dict()
+            response["row"] = entry.row()
+        else:
+            response["error"] = entry.error.to_dict()
+        return response
+
+    def sweep(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """Run a sweep descriptor or explicit job list with isolation."""
+        if "jobs" in payload:
+            descriptors = payload["jobs"]
+            if not isinstance(descriptors, list):
+                raise ServiceError("'jobs' must be a list of job descriptors")
+            work = [CompileJob.from_dict(descriptor)
+                    for descriptor in descriptors]
+        else:
+            spec = payload.get("spec", payload)
+            if not isinstance(spec, Mapping):
+                raise ServiceError("'spec' must be a sweep descriptor object")
+            work = SweepSpec.from_dict(spec)
+        with self._lock:
+            disk_hits_before = self.session.disk_hits
+            sweep = self.session.run(work, isolate_failures=True)
+            disk_hits = self.session.disk_hits - disk_hits_before
+            self.requests += 1
+            self.jobs_run += len(sweep)
+            self.job_failures += len(sweep.failures())
+        entries = []
+        for entry in sweep:
+            record: Dict[str, object] = {
+                "ok": entry.ok,
+                "fingerprint": entry.job.fingerprint(),
+                "benchmark": entry.job.program_label,
+                "policy": entry.job.policy_label,
+                "machine": entry.job.machine.describe(),
+                "cached": entry.cached,
+            }
+            if entry.ok:
+                record["result"] = entry.result.to_dict()
+            else:
+                record["error"] = entry.error.to_dict()
+            entries.append(record)
+        return {
+            "ok": sweep.ok,
+            "count": len(sweep),
+            "cache_hits": sweep.cache_hits,
+            "disk_hits": disk_hits,
+            "entries": entries,
+            "rows": sweep.rows(),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Telemetry snapshot: service counters + session/cache stats."""
+        with self._lock:
+            self.requests += 1
+            return {
+                "service": {
+                    "uptime_seconds": time.time() - self.started_at,
+                    "requests": self.requests,
+                    "jobs_run": self.jobs_run,
+                    "job_failures": self.job_failures,
+                },
+                "session": self.session.stats(),
+            }
+
+    def registry(self) -> Dict[str, object]:
+        """What the service can compile: benchmarks, policies, machines."""
+        with self._lock:
+            self.requests += 1
+        return {
+            "benchmarks": list(benchmark_names()),
+            "policies": sorted(POLICY_PRESETS),
+            "machine_kinds": list(MACHINE_KINDS),
+            "scales": list(SCALES),
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Liveness payload."""
+        with self._lock:
+            self.requests += 1
+        return {"status": "ok",
+                "uptime_seconds": time.time() - self.started_at}
+
+
+class ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning server's :class:`CompilationService`.
+
+    Error mapping: malformed requests (bad JSON, bad descriptors, unknown
+    benchmarks/policies — any :class:`~repro.exceptions.ReproError`) are
+    400s; unknown paths 404; unexpected exceptions 500.  Job failures are
+    *not* HTTP errors — they ride inside 200 responses as structured
+    entries.
+    """
+
+    server_version = "ReproCompilationService/1.0"
+    protocol_version = "HTTP/1.1"
+
+    _GET_ROUTES = {
+        "/health": "health",
+        "/stats": "stats",
+        "/registry": "registry",
+    }
+    _POST_ROUTES = {
+        "/compile": "compile",
+        "/sweep": "sweep",
+    }
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, error: Exception) -> None:
+        self._send_json(status, {
+            "ok": False,
+            "error": {"type": type(error).__name__, "message": str(error)},
+        })
+
+    def _read_payload(self) -> Mapping[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            return {}
+        try:
+            payload = json.loads(body)
+        except ValueError as error:
+            raise ServiceError(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, routes: Mapping[str, str],
+                  with_payload: bool) -> None:
+        method_name = routes.get(self.path)
+        if method_name is None:
+            known = sorted(set(self._GET_ROUTES) | set(self._POST_ROUTES))
+            self._send_error_json(404, ServiceError(
+                f"unknown endpoint {self.path!r}; available: {known}"))
+            return
+        service: CompilationService = self.server.service
+        try:
+            if with_payload:
+                response = getattr(service, method_name)(self._read_payload())
+            else:
+                response = getattr(service, method_name)()
+        except ReproError as error:
+            self._send_error_json(400, error)
+        except Exception as error:  # pragma: no cover - defensive 500
+            self._send_error_json(500, error)
+        else:
+            self._send_json(200, response)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._GET_ROUTES, with_payload=False)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._POST_ROUTES, with_payload=True)
+
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+
+def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                service: Optional[CompilationService] = None,
+                session: Optional[Session] = None,
+                jobs: int = 1, cache_dir: Optional[str] = None,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """Build a ready-to-serve compilation service HTTP server.
+
+    The caller owns the life cycle: call ``serve_forever()`` (typically
+    on a background thread in tests), and ``shutdown()`` +
+    ``server_close()`` when done.  Pass ``port=0`` to bind an ephemeral
+    port (read it back from ``server.server_address``).
+    """
+    server = ThreadingHTTPServer((host, port), ServiceHTTPHandler)
+    server.service = service or CompilationService(session=session, jobs=jobs,
+                                                   cache_dir=cache_dir)
+    server.verbose = verbose
+    return server
+
+
+def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+          jobs: int = 1, cache_dir: Optional[str] = None,
+          verbose: bool = True) -> None:
+    """Run the service in the foreground until interrupted (CLI helper)."""
+    server = make_server(host, port, jobs=jobs, cache_dir=cache_dir,
+                         verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro compilation service on http://{bound_host}:{bound_port} "
+          f"(jobs={jobs}, cache_dir={cache_dir or 'none'}) — Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro.exceptions import CompilationError, ExperimentError
+from repro.exceptions import (
+    CompilationError,
+    ExperimentError,
+    ResourceExhaustedError,
+)
 from repro.api import (
     CompileJob,
     MachineSpec,
@@ -12,6 +16,7 @@ from repro.api import (
     SerialExecutor,
     Session,
     SweepSpec,
+    autosize_compile,
     execute_job,
 )
 from repro.arch.nisq import NISQMachine
@@ -423,3 +428,126 @@ class TestBenchmarkRegistry:
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ExperimentError):
             register_benchmark("RD53", lambda: None)
+
+
+def _wide_program(num_params: int, num_ancilla: int):
+    """A program whose peak-live footprint is params + ancillas."""
+    from repro.ir.program import Program, QModule
+
+    module = QModule("wide", num_inputs=num_params, num_outputs=0,
+                     num_ancilla=num_ancilla)
+    for ancilla in module.ancillas:
+        module.cx(module.inputs[0], ancilla)
+    return Program(module, name=f"wide-{num_params}-{num_ancilla}")
+
+
+class TestAutosizeBoundaries:
+    """The machine-size search must never build beyond max_qubits."""
+
+    @staticmethod
+    def _machine_for(attempts):
+        def build(num_qubits):
+            attempts.append(num_qubits)
+            return NISQMachine.with_qubits(num_qubits)
+        return build
+
+    def test_cap_between_doublings_is_clamped(self):
+        # Needs 80 live qubits: 64 fails, and the doubling to 128 must be
+        # clamped to the 100-qubit cap instead of overshooting it.
+        program = _wide_program(50, 30)
+        attempts = []
+        result = autosize_compile(program, self._machine_for(attempts),
+                                  preset("lazy"), start_qubits=64,
+                                  max_qubits=100)
+        assert attempts == [64, 100]
+        assert result.peak_live_qubits == 80
+
+    def test_cap_hit_exactly_then_reraise(self):
+        # Needs 120 live qubits: 25 -> 50 -> 100 all fail; the error only
+        # propagates after the attempt at exactly the cap.
+        program = _wide_program(20, 100)
+        attempts = []
+        with pytest.raises(ResourceExhaustedError):
+            autosize_compile(program, self._machine_for(attempts),
+                             preset("lazy"), start_qubits=25, max_qubits=100)
+        assert attempts == [25, 50, 100]
+
+    def test_start_above_cap_is_clamped(self):
+        program = _wide_program(10, 10)
+        attempts = []
+        result = autosize_compile(program, self._machine_for(attempts),
+                                  preset("lazy"), start_qubits=512,
+                                  max_qubits=64)
+        assert attempts == [64]
+        assert result.num_qubits_used <= 64
+
+
+class TestExecutorContract:
+    def test_short_executor_batch_rejected(self):
+        class ShortExecutor:
+            def run(self, jobs):
+                return [execute_job(jobs[0])]  # silently drops the rest
+
+        session = Session(executor=ShortExecutor())
+        jobs = [CompileJob.for_benchmark("RD53", GRID, "lazy"),
+                CompileJob.for_benchmark("RD53", GRID, "square")]
+        with pytest.raises(ExperimentError) as exc_info:
+            session.run(jobs)
+        assert "ShortExecutor" in str(exc_info.value)
+
+    def test_long_executor_batch_rejected(self):
+        class LongExecutor:
+            def run(self, jobs):
+                return [execute_job(job) for job in jobs] * 2
+
+        session = Session(executor=LongExecutor())
+        with pytest.raises(ExperimentError) as exc_info:
+            session.run([CompileJob.for_benchmark("RD53", GRID, "square")])
+        assert "LongExecutor" in str(exc_info.value)
+
+    def test_isolation_needs_run_isolated(self):
+        class BareExecutor:
+            def run(self, jobs):
+                return [execute_job(job) for job in jobs]
+
+        session = Session(executor=BareExecutor(), isolate_failures=True)
+        with pytest.raises(ExperimentError) as exc_info:
+            session.run([CompileJob.for_benchmark("RD53", GRID, "square")])
+        assert "run_isolated" in str(exc_info.value)
+
+    def test_parallel_error_names_the_failing_job(self):
+        impossible = CompileJob.for_benchmark(
+            "RD53", MachineSpec.nisq(2), "square")
+        fine = CompileJob.for_benchmark("RD53", GRID, "square")
+        with pytest.raises(ResourceExhaustedError) as exc_info:
+            ParallelExecutor(jobs=2).run([fine, impossible])
+        message = str(exc_info.value)
+        assert "RD53" in message and "square" in message
+        assert "nisq-2" in message
+
+
+class TestCacheAccounting:
+    def test_hits_accumulate_across_run_calls(self):
+        spec = (SweepSpec()
+                .with_benchmarks("RD53", "6SYM")
+                .with_machines(GRID)
+                .with_policies("lazy", "square"))
+        session = Session()
+        first = session.run(spec)
+        assert first.cache_hits == 0
+        assert session.cache_misses == 4 and session.cache_hits == 0
+        second = session.run(spec)
+        assert second.cache_hits == 4
+        assert session.cache_misses == 4 and session.cache_hits == 4
+        assert session.cache_size == 4
+        # Rows are identical whether computed or recalled.
+        assert first.rows() == second.rows()
+
+    def test_stats_snapshot(self):
+        session = Session()
+        session.submit(CompileJob.for_benchmark("RD53", GRID, "square"))
+        stats = session.stats()
+        assert stats["cache_size"] == 1
+        assert stats["cache_misses"] == 1
+        assert stats["disk_hits"] == 0
+        assert "disk_cache" not in stats

@@ -11,10 +11,13 @@ The same session scales up from here without code changes:
 
 * ``Session(jobs=4, cache_dir="~/.cache/repro")`` adds a persistent
   disk cache, so repeated sweeps survive process restarts;
-* ``python -m repro.experiments serve --cache-dir ~/.cache/repro``
-  exposes the session over HTTP, and
-  :class:`repro.service.ServiceClient` mirrors the session surface
-  remotely — see ``examples/service_demo.py`` for the full tour.
+* ``python -m repro.experiments serve --workers 4 --cache-dir
+  ~/.cache/repro`` exposes the session over HTTP behind an
+  asynchronous job queue, and :class:`repro.service.ServiceClient`
+  mirrors the session surface remotely — synchronously
+  (``client.compile``/``client.run``) or asynchronously
+  (``client.submit_async`` → ``client.wait_for``); see
+  ``examples/service_demo.py`` for the full tour.
 
 Run with:  python examples/quickstart.py [jobs]
 """

@@ -20,6 +20,7 @@ and parallelism live in exactly one place::
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import ExperimentError
@@ -31,6 +32,23 @@ from repro.core.result import CompilationResult, JobFailure
 from repro.ir.program import Program
 
 
+class _Flight:
+    """One in-flight compilation, owned by exactly one :meth:`Session.run`.
+
+    Concurrent runs needing the same fingerprint wait on :attr:`event`
+    instead of recompiling; the owner settles :attr:`outcome` with the
+    result or failure before setting the event.  ``None`` after the event
+    fires means the owner died without a structured outcome (executor
+    bug, interrupt) and waiters must synthesize a failure.
+    """
+
+    __slots__ = ("event", "outcome")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.outcome: Optional[object] = None
+
+
 class Session:
     """Executes compile jobs with memoization and a pluggable executor.
 
@@ -40,6 +58,14 @@ class Session:
     free after the first one.  With a disk cache attached, results also
     persist across sessions: a restarted process re-serves earlier
     compilations from disk instead of recompiling.
+
+    Sessions are thread-safe with single-flight semantics: any number of
+    threads (e.g. a :class:`~repro.queue.workers.WorkerPool`) may call
+    :meth:`run` concurrently, and a fingerprint claimed by one batch is
+    never recompiled by another — late arrivals wait for the in-flight
+    compilation and share its result.  The lock only guards cache
+    bookkeeping; compilation itself runs unlocked, so concurrent batches
+    genuinely overlap.
 
     Args:
         executor: Explicit executor instance; any object with a
@@ -77,6 +103,8 @@ class Session:
         self.disk_cache = disk_cache
         self.isolate_failures = isolate_failures
         self._cache: Dict[str, CompilationResult] = {}
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Flight] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.disk_hits = 0
@@ -104,66 +132,146 @@ class Session:
         jobs = work.jobs() if isinstance(work, SweepSpec) else list(work)
         fingerprints = [job.fingerprint() for job in jobs]
 
-        pending: Dict[str, CompileJob] = {}
-        for job, fingerprint in zip(jobs, fingerprints):
-            if fingerprint not in self._cache and fingerprint not in pending:
-                pending[fingerprint] = job
-        if self.disk_cache is not None:
-            for fingerprint in list(pending):
-                restored = self.disk_cache.get(fingerprint)
-                if restored is not None:
-                    self._cache[fingerprint] = restored
-                    self.disk_hits += 1
-                    del pending[fingerprint]
+        # Partition the batch: already memoized, claimed by this call
+        # (``mine`` — we compile, everyone else waits on our flight), or
+        # claimed by a concurrent call (``theirs`` — we wait).
+        resolved: Dict[str, CompilationResult] = {}
+        mine: Dict[str, CompileJob] = {}
+        theirs: Dict[str, _Flight] = {}
+        with self._lock:
+            for job, fingerprint in zip(jobs, fingerprints):
+                if (fingerprint in resolved or fingerprint in mine
+                        or fingerprint in theirs):
+                    continue
+                hit = self._cache.get(fingerprint)
+                if hit is not None:
+                    resolved[fingerprint] = hit
+                    continue
+                flight = self._inflight.get(fingerprint)
+                if flight is not None:
+                    theirs[fingerprint] = flight
+                else:
+                    self._inflight[fingerprint] = _Flight()
+                    mine[fingerprint] = job
 
         failures: Dict[str, JobFailure] = {}
-        fresh = set(pending)
-        if pending:
-            outcomes = self._execute(list(pending.values()), isolate)
-            if len(outcomes) != len(pending):
-                raise ExperimentError(
-                    f"executor {self.executor!r} returned {len(outcomes)} "
-                    f"result(s) for a batch of {len(pending)} job(s); "
-                    f"an executor must return exactly one result per job, "
-                    f"in order"
-                )
-            for fingerprint, outcome in zip(pending.keys(), outcomes):
-                if isinstance(outcome, JobFailure):
-                    failures[fingerprint] = outcome
-                    continue
-                self._cache[fingerprint] = outcome
-                if self.disk_cache is not None:
-                    self.disk_cache.put(fingerprint, outcome,
-                                        job=pending[fingerprint])
+        disk_restored = set()
+        fresh = set()
+        try:
             if self.disk_cache is not None:
-                flush = getattr(self.disk_cache, "flush_index", None)
-                if flush is not None:
-                    flush()
-            if failures and not isolate:
-                # Completed work is already cached (memory and disk), so
-                # a rerun after fixing the bad job resumes warm.
-                raise next(iter(failures.values())).to_exception()
+                for fingerprint in list(mine):
+                    restored = self.disk_cache.get(fingerprint)
+                    if restored is not None:
+                        resolved[fingerprint] = restored
+                        disk_restored.add(fingerprint)
+                        with self._lock:
+                            self.disk_hits += 1
+                        self._settle(fingerprint, restored)
+                        del mine[fingerprint]
+            if mine:
+                outcomes = self._execute(list(mine.values()), isolate)
+                if len(outcomes) != len(mine):
+                    raise ExperimentError(
+                        f"executor {self.executor!r} returned "
+                        f"{len(outcomes)} result(s) for a batch of "
+                        f"{len(mine)} job(s); an executor must return "
+                        f"exactly one result per job, in order"
+                    )
+                for fingerprint, outcome in zip(list(mine.keys()), outcomes):
+                    if isinstance(outcome, JobFailure):
+                        failures[fingerprint] = outcome
+                    else:
+                        resolved[fingerprint] = outcome
+                        if self.disk_cache is not None:
+                            self.disk_cache.put(fingerprint, outcome,
+                                                job=mine[fingerprint])
+                    self._settle(fingerprint, outcome)
+                fresh = set(mine)
+                if self.disk_cache is not None:
+                    flush = getattr(self.disk_cache, "flush_index", None)
+                    if flush is not None:
+                        flush()
+        finally:
+            # Settle whatever this call still owns so concurrent waiters
+            # never hang, even when the executor raised out of the batch.
+            self._abandon(mine)
+
+        # Wait for fingerprints owned by concurrent batches; their
+        # results land in our batch as cache hits, their failures as
+        # failure entries (exactly as if this batch had run them).
+        for fingerprint, flight in theirs.items():
+            flight.event.wait()
+            outcome = flight.outcome
+            if isinstance(outcome, CompilationResult):
+                resolved[fingerprint] = outcome
+            elif isinstance(outcome, JobFailure):
+                failures[fingerprint] = outcome
+            else:
+                job = next(j for j, f in zip(jobs, fingerprints)
+                           if f == fingerprint)
+                failures[fingerprint] = JobFailure(
+                    program_name=job.program_label,
+                    machine_name=job.machine.describe(),
+                    policy_name=job.policy_label,
+                    error_type="ExperimentError",
+                    message="concurrent compilation of this job died "
+                            "without producing a result",
+                )
+
+        if failures and not isolate:
+            # Completed work is already cached (memory and disk), so
+            # a rerun after fixing the bad job resumes warm.
+            raise next(iter(failures.values())).to_exception()
 
         entries: List[SweepEntry] = []
-        for job, fingerprint in zip(jobs, fingerprints):
-            failed = fingerprint in failures
-            # Failures are never cached, so every occurrence of a failed
-            # job — including in-batch duplicates — is a miss.
-            cached = not failed and fingerprint not in fresh
-            if cached:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-                fresh.discard(fingerprint)  # later repeats in-batch are hits
-            if failed:
-                entries.append(SweepEntry(job=job, result=None,
-                                          error=failures[fingerprint],
-                                          cached=False))
-            else:
-                entries.append(SweepEntry(job=job,
-                                          result=self._cache[fingerprint],
-                                          cached=cached))
+        disk_credit = set(disk_restored)
+        with self._lock:
+            for job, fingerprint in zip(jobs, fingerprints):
+                failed = fingerprint in failures
+                # Failures are never cached, so every occurrence of a
+                # failed job — including in-batch duplicates — is a miss.
+                cached = not failed and fingerprint not in fresh
+                if cached:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+                    fresh.discard(fingerprint)  # later repeats are hits
+                if failed:
+                    entries.append(SweepEntry(job=job, result=None,
+                                              error=failures[fingerprint],
+                                              cached=False))
+                else:
+                    disk_hit = fingerprint in disk_credit
+                    disk_credit.discard(fingerprint)
+                    entries.append(SweepEntry(job=job,
+                                              result=resolved[fingerprint],
+                                              cached=cached,
+                                              disk_hit=disk_hit))
         return SweepResult(entries)
+
+    def _settle(self, fingerprint: str, outcome) -> None:
+        """Publish an owned fingerprint's outcome and wake its waiters.
+
+        Results enter the memo cache atomically with the flight's removal
+        from the in-flight registry, so another batch always sees the
+        fingerprint either in flight or cached — never neither.  Failures
+        are removed without caching (the next batch retries them).
+        """
+        with self._lock:
+            flight = self._inflight.pop(fingerprint, None)
+            if isinstance(outcome, CompilationResult):
+                self._cache[fingerprint] = outcome
+        if flight is not None:
+            flight.outcome = outcome
+            flight.event.set()
+
+    def _abandon(self, mine: Dict[str, CompileJob]) -> None:
+        """Settle any still-owned flights with no outcome (error unwind)."""
+        for fingerprint in mine:
+            with self._lock:
+                flight = self._inflight.pop(fingerprint, None)
+            if flight is not None:
+                flight.event.set()
 
     def _execute(self, jobs: List[CompileJob], isolate: bool) -> Sequence:
         """Dispatch one deduplicated batch to the executor.
@@ -233,7 +341,8 @@ class Session:
     # ------------------------------------------------------------------
     def clear_cache(self) -> None:
         """Drop every memoized result (the disk tier is left intact)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     @property
     def cache_size(self) -> int:

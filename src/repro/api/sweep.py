@@ -188,12 +188,16 @@ class SweepEntry:
             of completing (failure isolation only); None on success.
         cached: True when the session served the result from its memo
             cache instead of executing the job.
+        disk_hit: True when the result was restored from the session's
+            persistent disk tier during this run (a subset of
+            ``cached``); False for pure memory hits and fresh compiles.
     """
 
     job: CompileJob
     result: Optional[CompilationResult]
     error: Optional[JobFailure] = None
     cached: bool = False
+    disk_hit: bool = False
 
     def __post_init__(self) -> None:
         if (self.result is None) == (self.error is None):

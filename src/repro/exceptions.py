@@ -74,3 +74,32 @@ class ServiceError(ReproError):
     they come back as structured :class:`repro.core.result.JobFailure`
     entries and re-raise as the original library exception type.
     """
+
+
+class BackPressureError(ServiceError):
+    """Raised when the job queue rejects a submission because it is full.
+
+    This is the service's structured back-pressure signal (HTTP 503 on
+    the wire): the request was well-formed but the server is saturated,
+    so the client should retry later rather than treat it as a bad
+    request.
+
+    Attributes:
+        depth: Number of jobs waiting in the queue at rejection time.
+        capacity: The queue's configured maximum depth.
+    """
+
+    def __init__(self, message: str, *, depth: int = 0,
+                 capacity: int = 0) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.capacity = capacity
+
+
+class UnknownJobError(ServiceError):
+    """Raised when a job id does not name a live queued-job record.
+
+    The id may never have existed, or the record may already have been
+    garbage-collected by the manager's finished-job retention policy.
+    Maps to HTTP 404 on the wire.
+    """

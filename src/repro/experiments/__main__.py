@@ -17,8 +17,8 @@ Examples::
     python -m repro.experiments sweep RD53 ADDER4 --policies lazy square \\
         --grid 5 5 --export sweep.csv --cache-dir ~/.cache/repro
     python -m repro.experiments compile MODEXP --policy square --scale quick
-    python -m repro.experiments serve --port 8731 --jobs 4 \\
-        --cache-dir ~/.cache/repro
+    python -m repro.experiments serve --port 8731 --workers 4 \\
+        --queue-size 128 --cache-dir ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -162,11 +162,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="bind address for `serve`")
     parser.add_argument("--port", type=int, default=8731, metavar="PORT",
                         help="TCP port for `serve` (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker threads draining the job queue "
+                             "(`serve` only)")
+    parser.add_argument("--queue-size", type=int, default=64, metavar="N",
+                        help="job queue capacity before submissions get a "
+                             "503 back-pressure error (`serve` only)")
+    parser.add_argument("--cache-max-bytes", type=int, metavar="BYTES",
+                        help="disk cache size cap; overflow evicts "
+                             "least-recently-used results (`serve` only)")
     args = parser.parse_args(argv)
 
-    if args.experiment != "serve" and (args.host != "127.0.0.1"
-                                       or args.port != 8731):
-        parser.error("--host/--port only apply to `serve`")
+    if args.experiment != "serve":
+        if args.host != "127.0.0.1" or args.port != 8731:
+            parser.error("--host/--port only apply to `serve`")
+        if args.workers != 2 or args.queue_size != 64 \
+                or args.cache_max_bytes is not None:
+            parser.error("--workers/--queue-size/--cache-max-bytes only "
+                         "apply to `serve`")
     if args.experiment == "serve":
         for flag, given in (("--export", args.export),
                             ("--scale", args.scale != "laptop"),
@@ -183,7 +196,9 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service import serve
 
         serve(args.host, args.port, jobs=args.jobs,
-              cache_dir=args.cache_dir)
+              cache_dir=args.cache_dir,
+              cache_max_bytes=args.cache_max_bytes,
+              workers=args.workers, queue_size=args.queue_size)
         return 0
 
     if args.experiment not in ("sweep", "compile"):

@@ -1,0 +1,58 @@
+"""Asynchronous job-queue subsystem: tickets, back-pressure, workers.
+
+This package is the layer between a network transport and the blocking
+compilation backend (:class:`~repro.api.session.Session`): submissions
+return a ticket immediately, a worker pool drains a bounded priority
+queue, and clients poll the ticket for status and results — the shape
+that lets one server absorb large sweeps without blocking small
+requests.
+
+* :mod:`repro.queue.jobs` — :class:`QueuedJob` lifecycle records
+  (QUEUED → RUNNING → DONE/FAILED/CANCELLED).
+* :mod:`repro.queue.queue` — :class:`JobQueue`, bounded and
+  priority-aware, rejecting with
+  :class:`~repro.exceptions.BackPressureError` when full.
+* :mod:`repro.queue.workers` — :class:`WorkerPool` threads draining the
+  queue with per-job failure isolation and graceful shutdown.
+* :mod:`repro.queue.manager` — :class:`JobManager` tying them together:
+  submit/status/result/cancel/list plus retention-based GC.
+
+:mod:`repro.service` mounts a :class:`JobManager` behind its HTTP
+endpoints (``/jobs``, ``/jobs/<id>``, ``/jobs/<id>/cancel``); the
+subsystem itself is transport-free and usable in-process::
+
+    from repro.queue import JobManager
+
+    manager = JobManager(runner, workers=4, queue_size=128)
+    ticket = manager.submit("compile", {"benchmark": "RD53"})
+    manager.wait(ticket.job_id)
+    payload = manager.result(ticket.job_id)
+"""
+
+from repro.queue.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    TERMINAL_STATES,
+    QueuedJob,
+)
+from repro.queue.manager import JobManager
+from repro.queue.queue import JobQueue
+from repro.queue.workers import WorkerPool
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobManager",
+    "JobQueue",
+    "QUEUED",
+    "QueuedJob",
+    "RUNNING",
+    "STATES",
+    "TERMINAL_STATES",
+    "WorkerPool",
+]

@@ -1,0 +1,158 @@
+"""Queued-job records: lifecycle states, timestamps, serialization.
+
+A :class:`QueuedJob` is the ticket a client gets back from an
+asynchronous submission: a monotonic id, the work payload, a priority,
+and a state that walks the lifecycle::
+
+    QUEUED ──▶ RUNNING ──▶ DONE
+       │           └─────▶ FAILED
+       └─────────────────▶ CANCELLED
+
+``DONE``/``FAILED``/``CANCELLED`` are terminal; a record never leaves a
+terminal state.  State transitions are validated here but *synchronized*
+by the owning :class:`~repro.queue.manager.JobManager` (every transition
+happens under the manager's lock), so the record itself stays a plain
+mutable object.  A :class:`threading.Event` fires exactly once, when the
+job reaches any terminal state, which is what synchronous waiters and
+``wait_for`` poll loops block on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Mapping, Optional
+
+from repro.exceptions import ServiceError
+
+#: Lifecycle states.
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: Every state, in lifecycle order.
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset((DONE, FAILED, CANCELLED))
+
+#: Legal state transitions; terminal states allow none.
+_TRANSITIONS = {
+    QUEUED: frozenset((RUNNING, CANCELLED, FAILED)),
+    RUNNING: frozenset((DONE, FAILED)),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+
+class QueuedJob:
+    """One asynchronous work item and its full lifecycle record.
+
+    Attributes:
+        job_id: Monotonic id assigned by the manager (``"job-000001"``).
+        kind: Work type, ``"compile"`` or ``"sweep"``.
+        payload: The JSON-compatible work descriptor, as submitted.
+        priority: Higher runs sooner; ties break in submission order.
+        state: Current lifecycle state (one of :data:`STATES`).
+        submitted_at: Wall-clock submission time (``time.time()``).
+        started_at: When a worker picked the job up, or None.
+        finished_at: When the job reached a terminal state, or None.
+        response: The endpoint-shaped result payload once ``DONE``.
+        error: Structured error record (``{"error_type", "message"}``
+            shape, normally :meth:`~repro.core.result.JobFailure.to_dict`
+            output) once ``FAILED``.
+        exception: The in-process exception object behind ``error`` —
+            never serialized, used by the synchronous submit-and-wait
+            path to re-raise the original type.
+    """
+
+    def __init__(self, job_id: str, kind: str,
+                 payload: Mapping[str, object], priority: int = 0) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.payload = dict(payload)
+        self.priority = priority
+        self.state = QUEUED
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.response: Optional[Dict[str, object]] = None
+        self.error: Optional[Dict[str, object]] = None
+        self.exception: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        """True once the job can never change state again."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def wait_seconds(self) -> Optional[float]:
+        """Queue residence time: submission to pickup (or cancel)."""
+        end = self.started_at if self.started_at is not None \
+            else self.finished_at
+        return None if end is None else end - self.submitted_at
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        """Execution time: pickup to terminal state."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; True unless timed out."""
+        return self._done.wait(timeout)
+
+    # ------------------------------------------------------------------
+    def transition(self, state: str) -> None:
+        """Move to ``state``, enforcing the lifecycle diagram.
+
+        Caller must hold the owning manager's lock; the terminal event
+        fires here so waiters wake exactly once.
+        """
+        if state not in _TRANSITIONS:
+            raise ServiceError(f"unknown job state {state!r}; "
+                               f"expected one of {list(STATES)}")
+        if state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id} cannot move {self.state} -> {state}")
+        self.state = state
+        now = time.time()
+        if state == RUNNING:
+            self.started_at = now
+        if state in TERMINAL_STATES:
+            self.finished_at = now
+            self._done.set()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible status payload (what ``GET /jobs/<id>`` serves).
+
+        Terminal jobs carry their ``response`` (DONE) or ``error``
+        (FAILED) inline, so one poll fetches status and result together.
+        """
+        record: Dict[str, object] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wait_seconds": self.wait_seconds,
+            "run_seconds": self.run_seconds,
+        }
+        if self.response is not None:
+            record["response"] = self.response
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self) -> str:
+        return (f"QueuedJob(id={self.job_id!r}, kind={self.kind!r}, "
+                f"state={self.state}, priority={self.priority})")

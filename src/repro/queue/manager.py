@@ -1,0 +1,302 @@
+"""The job manager: submit/status/result/cancel/list over a worker pool.
+
+:class:`JobManager` is the piece that turns a blocking compilation
+backend into an asynchronous service core: :meth:`submit` validates
+nothing itself (the caller does), registers a
+:class:`~repro.queue.jobs.QueuedJob` ticket, and pushes it onto the
+bounded :class:`~repro.queue.queue.JobQueue` — returning in microseconds
+while the :class:`~repro.queue.workers.WorkerPool` drains the queue
+through the ``runner`` callable (normally a
+:class:`~repro.service.server.CompilationService` method that executes
+against the shared session and its cache tiers).
+
+Lifecycle bookkeeping all happens under one manager lock, which makes
+the critical cancellation guarantee cheap to state: a job observed
+``QUEUED`` by :meth:`cancel` transitions to ``CANCELLED`` atomically and
+is discarded from the queue, so its payload *never runs*; once a worker
+has moved it to ``RUNNING`` the cancel is refused.
+
+Finished records are kept for polling and then garbage-collected by a
+retention cap (oldest-finished first), so a long-lived server's job
+table cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError, ServiceError, UnknownJobError
+from repro.core.result import JobFailure
+from repro.queue.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    QueuedJob,
+)
+from repro.queue.queue import JobQueue
+from repro.queue.workers import WorkerPool
+
+
+class JobManager:
+    """Owns the queue, the workers, and every job record's lifecycle.
+
+    Args:
+        runner: ``runner(job) -> response payload`` — executes one job's
+            work; library errors (:class:`~repro.exceptions.ReproError`)
+            mark the job FAILED with a structured
+            :class:`~repro.core.result.JobFailure` record instead of
+            leaking out of the worker.
+        workers: Worker thread count.
+        queue_size: Queue capacity (back-pressure threshold).
+        retention: Maximum number of *finished* records kept for
+            polling; the oldest-finished beyond it are dropped.
+        name: Thread-name prefix for the pool.
+    """
+
+    def __init__(self, runner: Callable[[QueuedJob], Dict[str, object]], *,
+                 workers: int = 2, queue_size: int = 64,
+                 retention: int = 256, name: str = "repro") -> None:
+        if retention < 0:
+            raise ServiceError(f"retention must be >= 0, got {retention}")
+        self._runner = runner
+        self.retention = retention
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, QueuedJob]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.queue = JobQueue(capacity=queue_size)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.gc_dropped = 0
+        # Started last: workers may pop as soon as this line runs.
+        self.pool = WorkerPool(self._run_job, self.queue, workers=workers,
+                               name=name)
+
+    # ------------------------------------------------------------------
+    # Submission and lookup
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, payload: Dict[str, object],
+               priority: int = 0) -> QueuedJob:
+        """Register and enqueue one job; returns its ticket immediately.
+
+        Raises:
+            BackPressureError: The queue is full; nothing was registered.
+            ServiceError: The manager is closed.
+        """
+        with self._lock:
+            job = QueuedJob(f"job-{next(self._ids):06d}", kind, payload,
+                            priority=priority)
+            self._jobs[job.job_id] = job
+            try:
+                self.queue.push(job)
+            except ServiceError:
+                # Rejected (back-pressure or closed): the ticket never
+                # existed as far as clients are concerned.
+                del self._jobs[job.job_id]
+                raise
+            self.submitted += 1
+            self._gc_locked()
+            return job
+
+    def get(self, job_id: str) -> QueuedJob:
+        """The live record for ``job_id``.
+
+        Raises:
+            UnknownJobError: Unknown id, or already garbage-collected.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(
+                f"unknown job id {job_id!r} (never submitted, or already "
+                f"garbage-collected by the retention policy)")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """JSON status payload for one job (result inline once DONE)."""
+        return self.get(job_id).to_dict()
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> QueuedJob:
+        """Block until the job is terminal; raises ServiceError on timeout."""
+        job = self.get(job_id)
+        if not job.wait(timeout):
+            raise ServiceError(
+                f"timed out after {timeout}s waiting for {job_id} "
+                f"(state={job.state})")
+        return job
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """The DONE response payload; failed/unfinished jobs raise.
+
+        A FAILED job re-raises its original exception (the same type the
+        synchronous path would have raised); QUEUED/RUNNING raise
+        :class:`~repro.exceptions.ServiceError`; CANCELLED likewise.
+        """
+        job = self.get(job_id)
+        if job.state == DONE:
+            return job.response
+        if job.state == FAILED:
+            raise self.failure_exception(job)
+        raise ServiceError(
+            f"job {job_id} has no result (state={job.state})")
+
+    def jobs(self, state: Optional[str] = None) -> List[QueuedJob]:
+        """Snapshot of records in submission order, optionally filtered."""
+        if state is not None and state not in STATES:
+            raise ServiceError(f"unknown job state {state!r}; "
+                               f"expected one of {list(STATES)}")
+        with self._lock:
+            records = list(self._jobs.values())
+        if state is None:
+            return records
+        return [job for job in records if job.state == state]
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Tuple[QueuedJob, bool]:
+        """Cancel a QUEUED job; returns ``(job, cancelled)``.
+
+        The QUEUED check, the CANCELLED transition and the queue discard
+        happen under one lock, so a cancelled job can never be picked up
+        afterwards: either the cancel wins (the job never runs) or the
+        worker already moved it to RUNNING (the cancel is refused).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(f"unknown job id {job_id!r}")
+            if job.state != QUEUED:
+                return job, False
+            self.queue.discard(job_id)
+            job.transition(CANCELLED)
+            self.cancelled += 1
+            return job, True
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _run_job(self, job: QueuedJob) -> None:
+        """Worker handler: lifecycle around one ``runner`` invocation."""
+        with self._lock:
+            if job.state != QUEUED:
+                return  # lost the race against a cancel
+            job.transition(RUNNING)
+        try:
+            response = self._runner(job)
+        except ReproError as error:
+            self._finish_failed(job, error)
+        except Exception as error:  # pragma: no cover - runner bug guard
+            self._finish_failed(job, error)
+        else:
+            with self._lock:
+                job.response = response
+                job.transition(DONE)
+                self.completed += 1
+
+    def _finish_failed(self, job: QueuedJob, error: BaseException) -> None:
+        """Record a runner-raised error as a structured FAILED state.
+
+        Job coordinates come from the submitted descriptor where the
+        payload shape exposes them (``{"job": {...}}`` submissions);
+        sweep-shaped payloads fall back to the job kind.
+        """
+        descriptor = job.payload.get("job")
+        if not isinstance(descriptor, dict):
+            descriptor = {}
+        machine = descriptor.get("machine")
+        policy = descriptor.get("policy")
+        failure = JobFailure(
+            program_name=str(descriptor.get("benchmark", job.kind)),
+            machine_name=json.dumps(machine, sort_keys=True)
+            if isinstance(machine, dict) else str(machine or "-"),
+            policy_name=str(policy or "-"),
+            error_type=type(error).__name__,
+            message=str(error),
+        )
+        with self._lock:
+            job.error = failure.to_dict()
+            job.exception = error
+            job.transition(FAILED)
+            self.failed += 1
+
+    def failure_exception(self, job: QueuedJob) -> Exception:
+        """Rebuild the exception behind a FAILED job, preserving type."""
+        if isinstance(job.exception, Exception):
+            return job.exception
+        if job.error is not None:
+            return JobFailure.from_dict(job.error).to_exception()
+        return ServiceError(f"job {job.job_id} failed without a record")
+
+    # ------------------------------------------------------------------
+    # Retention GC and shutdown
+    # ------------------------------------------------------------------
+    def _gc_locked(self) -> int:
+        """Drop oldest-finished records beyond ``retention`` (lock held)."""
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.is_terminal]
+        dropped = 0
+        for job_id in finished[:max(0, len(finished) - self.retention)]:
+            del self._jobs[job_id]
+            dropped += 1
+        self.gc_dropped += dropped
+        return dropped
+
+    def gc(self) -> int:
+        """Apply the retention policy now; returns records dropped."""
+        with self._lock:
+            return self._gc_locked()
+
+    def close(self, drain: bool = False,
+              timeout: Optional[float] = 10.0) -> bool:
+        """Shut the subsystem down; returns True on a clean join.
+
+        Args:
+            drain: When True, workers finish the queued backlog first;
+                when False (default) queued jobs are dropped and their
+                records marked CANCELLED.
+            timeout: Per-thread join timeout.
+        """
+        dropped = self.queue.close(drain=drain)
+        with self._lock:
+            for job in dropped:
+                if job.state == QUEUED:
+                    job.transition(CANCELLED)
+                    self.cancelled += 1
+        return self.pool.close(timeout)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """JSON-compatible queue/worker/lifecycle telemetry."""
+        with self._lock:
+            states = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            retained = len(self._jobs)
+        stats = {
+            "queue": self.queue.stats(),
+            "pool": self.pool.stats(),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "retained": retained,
+            "retention": self.retention,
+            "gc_dropped": self.gc_dropped,
+            "states": states,
+        }
+        return stats
+
+    def __repr__(self) -> str:
+        return (f"JobManager(workers={self.pool.workers}, "
+                f"queue={len(self.queue)}/{self.queue.capacity}, "
+                f"submitted={self.submitted})")

@@ -1,0 +1,139 @@
+"""Bounded, priority-aware, thread-safe job queue with back-pressure.
+
+The queue is the service's pressure valve: submissions beyond
+``capacity`` are rejected *immediately* with a structured
+:class:`~repro.exceptions.BackPressureError` (HTTP 503 on the wire)
+instead of letting an unbounded backlog eat the server.  Higher
+``priority`` jobs pop first; within a priority, submission order (FIFO)
+wins, so equal-priority work is fair.
+
+Workers block in :meth:`JobQueue.pop` until a job or shutdown arrives;
+:meth:`JobQueue.close` wakes every worker, and a closed, drained queue
+pops ``None`` — the worker-pool shutdown signal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import List, Optional, Tuple
+
+from repro.exceptions import BackPressureError, ServiceError
+from repro.queue.jobs import QueuedJob
+
+
+class JobQueue:
+    """A bounded max-priority queue of :class:`QueuedJob` records.
+
+    Args:
+        capacity: Maximum number of waiting jobs; pushes beyond it raise
+            :class:`~repro.exceptions.BackPressureError`.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ServiceError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._cond = threading.Condition()
+        #: Heap of (-priority, sequence, job): max-priority, FIFO ties.
+        self._heap: List[Tuple[int, int, QueuedJob]] = []
+        self._sequence = itertools.count()
+        self._closed = False
+        self.pushed = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def push(self, job: QueuedJob) -> int:
+        """Enqueue a job; returns the queue depth after the push.
+
+        Raises:
+            BackPressureError: The queue is at capacity.
+            ServiceError: The queue has been closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceError("job queue is closed; no new submissions")
+            if len(self._heap) >= self.capacity:
+                self.rejected += 1
+                raise BackPressureError(
+                    f"job queue is full ({len(self._heap)}/{self.capacity} "
+                    f"jobs waiting); retry later",
+                    depth=len(self._heap), capacity=self.capacity,
+                )
+            heapq.heappush(self._heap,
+                           (-job.priority, next(self._sequence), job))
+            self.pushed += 1
+            self._cond.notify()
+            return len(self._heap)
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[QueuedJob]:
+        """Dequeue the highest-priority job, blocking while empty.
+
+        Returns ``None`` when the queue is closed and drained (shutdown
+        signal), or when ``timeout`` elapses with nothing to pop.
+        """
+        with self._cond:
+            while not self._heap and not self._closed:
+                if not self._cond.wait(timeout):
+                    return None
+            if self._heap:
+                return heapq.heappop(self._heap)[2]
+            return None  # closed and drained
+
+    def discard(self, job_id: str) -> bool:
+        """Remove a waiting job by id (cancellation support).
+
+        Returns True when the job was waiting and is now gone — after
+        which no worker can ever pop it; False when it was not in the
+        queue (already popped, or never pushed).
+        """
+        with self._cond:
+            for position, (_, _, job) in enumerate(self._heap):
+                if job.job_id == job_id:
+                    self._heap.pop(position)
+                    heapq.heapify(self._heap)
+                    return True
+            return False
+
+    def close(self, drain: bool = True) -> List[QueuedJob]:
+        """Stop accepting pushes and wake every blocked worker.
+
+        Args:
+            drain: When True (default) already-queued jobs stay poppable
+                so workers finish the backlog; when False the backlog is
+                dropped and returned (the manager cancels those records).
+        """
+        with self._cond:
+            self._closed = True
+            dropped: List[QueuedJob] = []
+            if not drain:
+                dropped = [job for _, _, job in self._heap]
+                self._heap.clear()
+            self._cond.notify_all()
+            return dropped
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        """Current depth (number of waiting jobs)."""
+        with self._cond:
+            return len(self._heap)
+
+    def stats(self) -> dict:
+        """JSON-compatible counters for service telemetry."""
+        with self._cond:
+            return {
+                "depth": len(self._heap),
+                "capacity": self.capacity,
+                "pushed": self.pushed,
+                "rejected": self.rejected,
+                "closed": self._closed,
+            }
+
+    def __repr__(self) -> str:
+        return (f"JobQueue(depth={len(self)}, capacity={self.capacity}, "
+                f"closed={self._closed})")

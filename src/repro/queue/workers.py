@@ -1,0 +1,120 @@
+"""Worker pool: N threads draining a :class:`~repro.queue.queue.JobQueue`.
+
+Each worker loops pop → handle; the handler (normally
+:meth:`~repro.queue.manager.JobManager._run_job`) owns all lifecycle
+bookkeeping and failure isolation, so a worker thread itself never dies
+on a job failure — a defensive catch keeps the thread alive (and counts
+the event) even if the handler has a bug.  Compilation releases no GIL,
+but the shared :class:`~repro.api.session.Session` compiles unlocked
+with single-flight dedup, so threads are exactly the right weight here:
+they interleave job batches fairly and share both cache tiers.
+
+Shutdown is graceful: closing the queue wakes every blocked worker, each
+exits on the ``None`` sentinel, and :meth:`WorkerPool.close` joins them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.exceptions import ServiceError
+from repro.queue.jobs import QueuedJob
+from repro.queue.queue import JobQueue
+
+
+class WorkerPool:
+    """Drains a job queue through a fixed set of daemon threads.
+
+    Args:
+        handler: Called with each popped :class:`QueuedJob`; must not
+            raise (failures belong inside the job record).
+        queue: The queue to drain.
+        workers: Thread count; at least 1.
+        name: Thread-name prefix (``"<name>-worker-<i>"``), for
+            debuggability of stuck pools.
+    """
+
+    def __init__(self, handler: Callable[[QueuedJob], None],
+                 queue: JobQueue, workers: int = 2,
+                 name: str = "repro") -> None:
+        if workers < 1:
+            raise ServiceError(f"worker pool needs >= 1 worker, "
+                               f"got {workers}")
+        self._handler = handler
+        self._queue = queue
+        self._lock = threading.Lock()
+        self._busy = 0
+        self.handler_errors = 0
+        self._threads: List[threading.Thread] = [
+            threading.Thread(target=self._loop, daemon=True,
+                             name=f"{name}-worker-{index}")
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            job = self._queue.pop()
+            if job is None:  # queue closed and drained
+                return
+            with self._lock:
+                self._busy += 1
+            try:
+                self._handler(job)
+            except Exception:  # pragma: no cover - handler contract bug
+                with self._lock:
+                    self.handler_errors += 1
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured thread count."""
+        return len(self._threads)
+
+    @property
+    def busy(self) -> int:
+        """Threads currently inside the handler."""
+        with self._lock:
+            return self._busy
+
+    @property
+    def alive(self) -> int:
+        """Threads still running (drops to 0 after a clean close)."""
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    def utilization(self) -> float:
+        """Busy fraction in [0, 1] — the `/stats` saturation signal."""
+        return self.busy / len(self._threads)
+
+    def close(self, timeout: Optional[float] = 10.0) -> bool:
+        """Join every worker; the queue must already be closed.
+
+        Returns True when all threads exited within ``timeout``.
+        """
+        if not self._queue.closed:
+            self._queue.close()
+        deadline_ok = True
+        for thread in self._threads:
+            thread.join(timeout)
+            deadline_ok = deadline_ok and not thread.is_alive()
+        return deadline_ok
+
+    def stats(self) -> dict:
+        """JSON-compatible pool telemetry."""
+        return {
+            "workers": self.workers,
+            "busy": self.busy,
+            "alive": self.alive,
+            "utilization": self.utilization(),
+            "handler_errors": self.handler_errors,
+        }
+
+    def __repr__(self) -> str:
+        return (f"WorkerPool(workers={self.workers}, busy={self.busy}, "
+                f"alive={self.alive})")

@@ -20,17 +20,29 @@ truncated or mislabelled payload counts as a miss (and is recorded in
 :meth:`DiskCache.stats`), after which the session simply recompiles and
 rewrites the entry.  The index is purely advisory — membership always
 comes from the payload files — and is rebuilt from them when missing or
-corrupt.
+corrupt; index rewrites take a best-effort ``fcntl`` file lock so two
+servers sharing one cache directory do not interleave their rewrites.
+
+With ``max_bytes`` set, the cache enforces a size cap by LRU eviction:
+every read hit bumps the payload file's mtime (so recency is shared
+across processes), and each write evicts least-recently-accessed
+entries until the payload files fit the cap again.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.core.result import CompilationResult
 
@@ -66,20 +78,32 @@ class DiskCache:
 
     Args:
         root: Cache directory; created (with parents) if missing.
+        max_bytes: Optional size cap over the payload files; writes
+            beyond it evict least-recently-accessed entries (the entry
+            being written is never evicted by its own put, even when it
+            alone exceeds the cap).
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, *, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root).expanduser()
         self.results_dir = self.root / "results"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.index_path = self.root / "index.json"
+        self.lock_path = self.root / "index.lock"
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.writes = 0
+        self.evictions = 0
         self._index_dirty = False
         self._index: Dict[str, Dict[str, object]] = self._load_index()
+        #: Running payload-byte estimate so an under-cap put stays O(1);
+        #: reconciled against a real directory scan on every eviction.
+        self._bytes = self.total_bytes() if max_bytes is not None else 0
 
     # ------------------------------------------------------------------
     def _result_path(self, fingerprint: str) -> Path:
@@ -116,19 +140,77 @@ class DiskCache:
                 continue
         return entries
 
+    @contextlib.contextmanager
+    def _index_file_lock(self):
+        """Best-effort cross-process lock for index rewrites.
+
+        Two servers sharing one cache directory serialize their
+        read-merge-write index updates on an ``fcntl`` advisory lock, so
+        one writer cannot silently drop the entries another wrote.  A
+        platform without :mod:`fcntl` (or a filesystem refusing to lock)
+        degrades to the previous unlocked behaviour — the index is
+        advisory and rebuildable, so this is safe, just less tidy.
+        """
+        if fcntl is None:
+            yield
+            return
+        try:
+            handle = open(self.lock_path, "w")
+        except OSError:
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            except OSError:
+                pass
+            yield
+        finally:
+            handle.close()  # closing drops any held flock
+
+    def _merge_foreign_entries(self) -> None:
+        """Fold other writers' on-disk index entries into ours.
+
+        Our in-memory view wins for fingerprints we know about (it is
+        newer, and locally-evicted keys must stay gone); entries we have
+        never seen are adopted when their payload file still exists —
+        that is what keeps two servers flushing over one directory from
+        clobbering each other.  Called with both locks held.
+        """
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+            entries = data["entries"]
+            if data.get("version") != CACHE_VERSION or not isinstance(
+                    entries, dict):
+                return
+        except (OSError, ValueError, KeyError, TypeError):
+            return
+        for fingerprint, meta in entries.items():
+            if fingerprint not in self._index and isinstance(meta, dict) \
+                    and fingerprint in self:
+                self._index[fingerprint] = meta
+
     def _write_index(self) -> None:
-        payload = {"version": CACHE_VERSION, "entries": self._index}
-        _atomic_write_text(self.index_path,
-                           json.dumps(payload, sort_keys=True, indent=1))
+        with self._index_file_lock():
+            self._merge_foreign_entries()
+            payload = {"version": CACHE_VERSION, "entries": self._index}
+            _atomic_write_text(self.index_path,
+                               json.dumps(payload, sort_keys=True, indent=1))
 
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> Optional[CompilationResult]:
-        """Fetch a persisted result, or None on miss or corruption."""
+        """Fetch a persisted result, or None on miss or corruption.
+
+        A hit bumps the payload file's mtime, which is the cache's
+        shared last-access clock: LRU eviction (and any other process
+        sharing the directory) orders entries by it.
+        """
         path = self._result_path(fingerprint)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         try:
             payload = json.loads(text)
@@ -138,9 +220,15 @@ class DiskCache:
                 raise ValueError("payload fingerprint mismatch")
             result = CompilationResult.from_dict(payload["result"])
         except (ValueError, KeyError, TypeError, AttributeError):
-            self.corrupt += 1
+            with self._lock:
+                self.corrupt += 1
             return None
-        self.hits += 1
+        try:
+            os.utime(path)  # mark recently used for LRU eviction
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
         return result
 
     def put(self, fingerprint: str, result: CompilationResult,
@@ -172,12 +260,60 @@ class DiskCache:
                 "machine": job.machine.describe(),
             }
             payload["job"] = meta
+        path = self._result_path(fingerprint)
         with self._lock:
-            _atomic_write_text(self._result_path(fingerprint),
-                               json.dumps(payload, sort_keys=True))
+            if self.max_bytes is not None:
+                try:
+                    overwritten = path.stat().st_size
+                except OSError:
+                    overwritten = 0
+            _atomic_write_text(path, json.dumps(payload, sort_keys=True))
             self._index[fingerprint] = meta
             self._index_dirty = True
             self.writes += 1
+            if self.max_bytes is not None:
+                try:
+                    written = path.stat().st_size
+                except OSError:
+                    written = 0
+                self._bytes += written - overwritten
+                if self._bytes > self.max_bytes:
+                    self._evict_locked(keep=fingerprint)
+
+    def _evict_locked(self, keep: str) -> None:
+        """Drop least-recently-accessed payloads until under the cap.
+
+        Last access is the payload file's mtime (bumped by :meth:`get`
+        hits and by writes), so processes sharing the directory agree on
+        recency.  The entry just written (``keep``) is never evicted by
+        its own put.  Caller holds the internal lock; the directory scan
+        here also reconciles the running byte estimate (which can drift
+        when other processes write the same directory).
+        """
+        entries = []
+        total = 0
+        for path in self.results_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda entry: entry[0])
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path.stem == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self._index.pop(path.stem, None)
+            self._index_dirty = True
+            self.evictions += 1
+        self._bytes = total
 
     def flush_index(self) -> None:
         """Persist pending index updates (cheap no-op when clean).
@@ -215,18 +351,32 @@ class DiskCache:
                 except OSError:
                     pass
             self._index = {}
+            self._bytes = 0
             self._write_index()
             self._index_dirty = False
+
+    def total_bytes(self) -> int:
+        """Current payload size on disk (what ``max_bytes`` caps)."""
+        total = 0
+        for path in self.results_dir.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def stats(self) -> Dict[str, object]:
         """Counters + size, JSON-compatible (for service telemetry)."""
         return {
             "root": str(self.root),
             "size": len(self),
+            "bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
             "writes": self.writes,
+            "evictions": self.evictions,
         }
 
     def __repr__(self) -> str:

@@ -11,8 +11,19 @@ remote compilation by swapping one object::
     result = client.compile("RD53", policy="square")
     sweep = client.run(SweepSpec().with_benchmarks("RD53", "ADDER4"))
 
+On top of the synchronous surface sits the asynchronous job API:
+``submit_async`` returns a ticket id immediately (the server queues the
+work), ``poll``/``wait_for`` watch it to a terminal state, ``cancel``
+withdraws a still-queued job, and ``result_of`` unwraps a finished
+ticket into the usual result objects.
+
 Pure stdlib (``urllib``).  Transport and protocol problems raise
-:class:`~repro.exceptions.ServiceError`; a job that failed on the server
+:class:`~repro.exceptions.ServiceError` — except a full server queue,
+which raises the structured
+:class:`~repro.exceptions.BackPressureError` so callers can tell
+"retry later" from "bad request".  Idempotent GETs (health, stats,
+polling) retry with exponential backoff on connection refused/reset, so
+a poll loop survives a server restart.  A job that failed on the server
 re-raises client-side as its original library exception type (via
 :meth:`~repro.core.result.JobFailure.to_exception`), exactly like a
 local session would.
@@ -21,15 +32,19 @@ local session would.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.exceptions import ServiceError
+from repro.exceptions import BackPressureError, ServiceError, UnknownJobError
 from repro.api.job import CompileJob, MachineSpec
 from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.core.compiler import preset
 from repro.core.result import CompilationResult, JobFailure
+
+#: Job states a ticket can never leave (mirror of repro.queue).
+_TERMINAL_STATES = ("DONE", "FAILED", "CANCELLED")
 
 
 class ServiceClient:
@@ -37,14 +52,21 @@ class ServiceClient:
 
     Args:
         base_url: Service root, e.g. ``"http://127.0.0.1:8731"``.
-        timeout: Per-request timeout in seconds.  Compilation happens
-            synchronously inside the request, so size this to the
-            largest job you submit.
+        timeout: Per-request timeout in seconds.  Synchronous
+            compilation happens inside the request, so size this to the
+            largest job you submit (async submissions return at once
+            and are not affected).
+        retries: Connection-level retries for idempotent GET requests
+            (POSTs are never retried — a submission must not double).
+        backoff: Base delay between GET retries; doubles each attempt.
     """
 
-    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+    def __init__(self, base_url: str, timeout: float = 300.0, *,
+                 retries: int = 3, backoff: float = 0.2) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -57,17 +79,28 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers,
                                          method=method)
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                body = response.read()
-        except urllib.error.HTTPError as error:
-            raise ServiceError(self._http_error_message(path, error)) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach compilation service at {self.base_url}: "
-                f"{error.reason}"
-            ) from None
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    body = response.read()
+                break
+            except urllib.error.HTTPError as error:
+                raise self._http_error(path, error) from None
+            except urllib.error.URLError as error:
+                # Only connection refused/reset retries: those are the
+                # restart-in-progress signatures, and only for GETs,
+                # which are idempotent against this service.
+                transient = isinstance(error.reason, (ConnectionRefusedError,
+                                                      ConnectionResetError))
+                if transient and attempt + 1 < attempts:
+                    time.sleep(self.backoff * (2 ** attempt))
+                    continue
+                raise ServiceError(
+                    f"cannot reach compilation service at {self.base_url}: "
+                    f"{error.reason}"
+                ) from None
         try:
             decoded = json.loads(body)
         except ValueError as error:
@@ -79,15 +112,26 @@ class ServiceClient:
         return decoded
 
     @staticmethod
-    def _http_error_message(path: str, error: urllib.error.HTTPError) -> str:
+    def _http_error(path: str,
+                    error: urllib.error.HTTPError) -> ServiceError:
+        """Rebuild the service-side error as the right client exception."""
         detail = ""
+        record: Dict[str, object] = {}
         try:
             payload = json.loads(error.read())
-            detail = payload["error"]["message"]
+            record = payload["error"]
+            detail = record["message"]
         except Exception:
             pass
         suffix = f": {detail}" if detail else ""
-        return f"{path} failed with HTTP {error.code}{suffix}"
+        message = f"{path} failed with HTTP {error.code}{suffix}"
+        if record.get("type") == "BackPressureError":
+            return BackPressureError(message,
+                                     depth=int(record.get("depth", 0)),
+                                     capacity=int(record.get("capacity", 0)))
+        if record.get("type") == "UnknownJobError":
+            return UnknownJobError(message)
+        return ServiceError(message)
 
     def _get(self, path: str) -> Dict:
         return self._request("GET", path)
@@ -175,6 +219,7 @@ class ServiceClient:
                     job=job,
                     result=CompilationResult.from_dict(record["result"]),
                     cached=bool(record.get("cached", False)),
+                    disk_hit=bool(record.get("disk_hit", False)),
                 ))
             else:
                 entries.append(SweepEntry(
@@ -184,6 +229,99 @@ class ServiceClient:
                     cached=bool(record.get("cached", False)),
                 ))
         return SweepResult(entries)
+
+    # ------------------------------------------------------------------
+    # Asynchronous job API
+    # ------------------------------------------------------------------
+    def submit_async(self,
+                     work: Union[CompileJob, SweepSpec,
+                                 Sequence[CompileJob], Mapping[str, object]],
+                     priority: int = 0) -> str:
+        """``POST /jobs``: enqueue work, return its ticket id at once.
+
+        Accepts the same shapes as the synchronous surface — a
+        :class:`CompileJob` (or raw descriptor), a :class:`SweepSpec`,
+        or a job list.  The server replies before compiling anything;
+        poll the returned id with :meth:`poll`/:meth:`wait_for`.
+
+        Raises:
+            BackPressureError: The server queue is full; retry later.
+        """
+        payload: Dict[str, object]
+        if isinstance(work, CompileJob):
+            payload = {"job": work.to_dict()}
+        elif isinstance(work, SweepSpec):
+            payload = {"spec": work.to_dict()}
+        elif isinstance(work, Mapping):
+            payload = dict(work)
+        else:
+            payload = {"jobs": [job.to_dict() for job in work]}
+        if priority:
+            payload["priority"] = priority
+        response = self._post("/jobs", payload)
+        job_id = response.get("job_id")
+        if not isinstance(job_id, str):
+            raise ServiceError(f"/jobs returned no job id: {response}")
+        return job_id
+
+    def poll(self, job_id: str) -> Dict:
+        """``GET /jobs/<id>``: one status snapshot (result inline once
+        DONE, error record once FAILED)."""
+        return self._get(f"/jobs/{job_id}")
+
+    def wait_for(self, job_id: str, timeout: Optional[float] = None,
+                 interval: float = 0.05) -> Dict:
+        """Poll until the job is terminal; returns the final record.
+
+        Args:
+            job_id: Ticket from :meth:`submit_async`.
+            timeout: Give up (with :class:`ServiceError`) after this
+                many seconds; None waits forever.
+            interval: Seconds between polls.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.poll(job_id)
+            if record.get("state") in _TERMINAL_STATES:
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for {job_id} "
+                    f"(state={record.get('state')})")
+            time.sleep(interval)
+
+    def result_of(self, job_id: str, timeout: Optional[float] = None) -> Dict:
+        """Wait for a job and unwrap its response payload.
+
+        DONE jobs return the same payload the synchronous endpoint
+        would have (``/compile`` or ``/sweep`` shape); FAILED jobs
+        re-raise their original library exception; CANCELLED jobs raise
+        :class:`ServiceError`.
+        """
+        record = self.wait_for(job_id, timeout=timeout)
+        state = record.get("state")
+        if state == "DONE":
+            return record["response"]
+        if state == "FAILED" and isinstance(record.get("error"), dict):
+            raise JobFailure.from_dict(record["error"]).to_exception()
+        raise ServiceError(f"job {job_id} ended {state} without a result")
+
+    def cancel(self, job_id: str) -> Dict:
+        """``POST /jobs/<id>/cancel``: cancel a still-queued job.
+
+        Returns the cancellation record; ``record["cancelled"]`` is
+        False when the job had already started (or finished).
+        """
+        return self._post(f"/jobs/{job_id}/cancel", {})
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict]:
+        """``GET /jobs``: job records, optionally filtered by state."""
+        suffix = f"?state={state}" if state else ""
+        response = self._get(f"/jobs{suffix}")
+        records = response.get("jobs")
+        if not isinstance(records, list):
+            raise ServiceError(f"/jobs returned no record list: {response}")
+        return records
 
     def __repr__(self) -> str:
         return f"ServiceClient(base_url={self.base_url!r})"

@@ -1,24 +1,39 @@
 """HTTP compilation service: the `repro.api` Session over a network endpoint.
 
-Pure stdlib (:class:`http.server.ThreadingHTTPServer`), one shared
-memoizing :class:`~repro.api.session.Session` behind a lock, optional
-persistent :class:`~repro.service.cache.DiskCache` — so any number of
-clients share one warm cache that survives restarts.  Jobs always run
-with failure isolation: a request for an impossible machine comes back
-as a structured error entry, never as a dead batch or a dead server.
+Pure stdlib (:class:`http.server.ThreadingHTTPServer`).  Every request —
+synchronous or asynchronous — flows through one
+:class:`~repro.queue.manager.JobManager`: submissions enqueue onto a
+bounded priority queue and a :class:`~repro.queue.workers.WorkerPool`
+drains it into one shared thread-safe memoizing
+:class:`~repro.api.session.Session` (optionally backed by a persistent
+:class:`~repro.service.cache.DiskCache`).  A large sweep therefore
+occupies one worker while other workers keep serving small requests —
+nothing serializes behind a single lock any more.  Jobs always run with
+failure isolation: a request for an impossible machine comes back as a
+structured error entry, never as a dead batch or a dead server.
 
 Endpoints (all JSON):
 
-* ``GET  /health``   — liveness probe.
-* ``GET  /stats``    — session/cache/telemetry counters.
-* ``GET  /registry`` — available benchmarks, policies, machine kinds,
+* ``GET  /health``            — liveness probe.
+* ``GET  /stats``             — service/queue/session/cache counters.
+* ``GET  /registry``          — benchmarks, policies, machine kinds,
   scales.
-* ``POST /compile``  — one job descriptor (see
-  :meth:`~repro.api.job.CompileJob.from_dict`); returns the result
-  payload plus ``cached``/``disk_hit`` provenance flags.
-* ``POST /sweep``    — ``{"spec": {...}}`` sweep descriptor or
-  ``{"jobs": [...]}`` explicit job list; returns per-entry payloads,
-  table rows and cache stats.
+* ``POST /compile``           — one job descriptor, synchronous
+  (submit + wait): returns the result payload plus ``cached``/
+  ``disk_hit`` provenance flags.
+* ``POST /sweep``             — sweep descriptor or explicit job list,
+  synchronous: per-entry payloads, table rows, cache stats.
+* ``POST /jobs``              — asynchronous submission: the same
+  ``/compile``/``/sweep`` payload shapes (plus optional ``priority``);
+  returns a ticket immediately.  503 + ``BackPressureError`` when the
+  queue is full.
+* ``GET  /jobs``              — list job records (``?state=QUEUED``
+  filters).
+* ``GET  /jobs/<id>``         — status; carries the full response
+  payload once DONE, the error record once FAILED.  404 for unknown or
+  garbage-collected ids.
+* ``POST /jobs/<id>/cancel``  — cancel; only QUEUED jobs cancel (a
+  cancelled job never runs), later states are reported back unchanged.
 
 Start one from the CLI with ``python -m repro.experiments serve`` or
 programmatically with :func:`make_server`.
@@ -29,63 +44,154 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.exceptions import ReproError, ServiceError
+from repro.exceptions import (
+    BackPressureError,
+    ReproError,
+    ServiceError,
+    UnknownJobError,
+)
 from repro.api.job import CompileJob, MACHINE_KINDS
 from repro.api.session import Session
 from repro.api.sweep import SweepSpec
 from repro.core.compiler import POLICY_PRESETS
+from repro.queue import DONE, FAILED, JobManager, QueuedJob
 from repro.workloads.registry import SCALES, benchmark_names
 
 #: Default TCP port for the compilation service.
 DEFAULT_PORT = 8731
 
+#: Default worker-thread and queue-capacity sizing for the service.
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_SIZE = 64
+
 
 class CompilationService:
-    """The transport-independent service core: one shared session + lock.
+    """The transport-independent service core: queue + workers + session.
 
-    A :class:`~repro.api.session.Session` is not thread-safe, and the
-    threading HTTP server handles each request on its own thread, so
-    every session interaction serializes on one lock.  Parallelism still
-    comes from the session's own :class:`~repro.api.executors.ParallelExecutor`
-    workers — the lock only orders *batches*, it does not serialize
-    compilation itself.
+    The session is thread-safe with single-flight deduplication, so the
+    worker threads share both cache tiers without duplicate compiles;
+    the :class:`~repro.queue.manager.JobManager` provides admission
+    control (bounded queue, structured back-pressure), job lifecycle
+    tracking and graceful shutdown.  The synchronous endpoints are sugar
+    over the asynchronous path: submit, wait, unwrap.
 
     Args:
         session: Explicit session to serve; defaults to a new one.
-        jobs: Worker process count for the default session.
+        jobs: Worker *process* count for the default session's executor.
         cache_dir: Persistent cache directory for the default session.
+        cache_max_bytes: Optional size cap for the default session's
+            disk cache; overflow evicts least-recently-used entries.
+        workers: Worker *threads* draining the job queue.
+        queue_size: Queue capacity; submissions beyond it get a 503.
+        retention: Finished job records kept for polling before GC.
     """
 
     def __init__(self, session: Optional[Session] = None, *, jobs: int = 1,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 cache_max_bytes: Optional[int] = None,
+                 workers: int = DEFAULT_WORKERS,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 retention: int = 256) -> None:
         if session is None:
-            session = Session(jobs=jobs, cache_dir=cache_dir)
+            if cache_dir is not None:
+                from repro.service.cache import DiskCache
+
+                disk_cache = DiskCache(cache_dir,
+                                       max_bytes=cache_max_bytes)
+                session = Session(jobs=jobs, disk_cache=disk_cache)
+            else:
+                session = Session(jobs=jobs)
         self.session = session
-        self._lock = threading.Lock()
+        self.manager = JobManager(self._run_job, workers=workers,
+                                  queue_size=queue_size,
+                                  retention=retention, name="repro-service")
+        self._counters = threading.Lock()
         self.started_at = time.time()
         self.requests = 0
         self.jobs_run = 0
         self.job_failures = 0
 
-    # ------------------------------------------------------------------
-    def compile(self, payload: Mapping[str, object]) -> Dict[str, object]:
-        """Run one job descriptor; never raises for job-level failures.
+    def close(self, drain: bool = False) -> None:
+        """Shut the queue and worker pool down (idempotent)."""
+        self.manager.close(drain=drain)
 
-        Accepts either a bare :meth:`~repro.api.job.CompileJob.from_dict`
-        descriptor or ``{"job": {...}}``.
-        """
-        descriptor = payload.get("job", payload)
-        if not isinstance(descriptor, Mapping):
-            raise ServiceError("'job' must be a job descriptor object")
-        job = CompileJob.from_dict(descriptor)
-        with self._lock:
-            disk_hits_before = self.session.disk_hits
-            entry = self.session.run([job], isolate_failures=True)[0]
-            disk_hit = self.session.disk_hits > disk_hits_before
+    # ------------------------------------------------------------------
+    # Request admission: validation + classification
+    # ------------------------------------------------------------------
+    def _count_request(self) -> None:
+        with self._counters:
             self.requests += 1
+
+    @staticmethod
+    def _parse_submission(payload: Mapping[str, object],
+                          kind: Optional[str] = None
+                          ) -> Tuple[str, Dict[str, object], int]:
+        """Validate a submission payload; returns (kind, work, priority).
+
+        Descriptors are fully parsed here so malformed requests fail
+        fast with a 400 at submission time — never later inside a
+        worker.  The *raw* descriptor dict is what travels through the
+        queue (JSON-compatible end to end); workers re-parse it.
+        """
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ServiceError(f"'priority' must be an integer, "
+                               f"got {priority!r}")
+        declared = payload.get("kind")
+        if declared is not None and declared not in ("compile", "sweep"):
+            raise ServiceError(f"unknown job kind {declared!r}; "
+                               f"expected 'compile' or 'sweep'")
+
+        if "jobs" in payload:
+            descriptors = payload["jobs"]
+            if not isinstance(descriptors, list):
+                raise ServiceError("'jobs' must be a list of job descriptors")
+            for descriptor in descriptors:
+                if not isinstance(descriptor, Mapping):
+                    raise ServiceError("every entry in 'jobs' must be a "
+                                       "job descriptor object")
+                CompileJob.from_dict(descriptor)
+            inferred, work = "sweep", {"jobs": list(descriptors)}
+        elif "spec" in payload:
+            spec = payload["spec"]
+            if not isinstance(spec, Mapping):
+                raise ServiceError("'spec' must be a sweep descriptor object")
+            SweepSpec.from_dict(spec)
+            inferred, work = "sweep", {"spec": dict(spec)}
+        else:
+            descriptor = payload.get("job", payload)
+            if not isinstance(descriptor, Mapping):
+                raise ServiceError("'job' must be a job descriptor object")
+            descriptor = {key: value for key, value in descriptor.items()
+                          if key not in ("kind", "priority")}
+            CompileJob.from_dict(descriptor)
+            inferred, work = "compile", {"job": descriptor}
+        if declared is not None and declared != inferred:
+            raise ServiceError(
+                f"payload shape says kind={inferred!r} but the request "
+                f"declared kind={declared!r}")
+        return inferred, work, priority
+
+    # ------------------------------------------------------------------
+    # Worker side: executing queued payloads against the session
+    # ------------------------------------------------------------------
+    def _run_job(self, queued: QueuedJob) -> Dict[str, object]:
+        """Worker entry point: dispatch one queued payload by kind."""
+        if queued.kind == "compile":
+            return self._execute_compile(queued.payload)
+        if queued.kind == "sweep":
+            return self._execute_sweep(queued.payload)
+        raise ServiceError(f"unknown job kind {queued.kind!r}")
+
+    def _execute_compile(self, payload: Mapping[str, object]
+                         ) -> Dict[str, object]:
+        job = CompileJob.from_dict(payload["job"])
+        entry = self.session.run([job], isolate_failures=True)[0]
+        with self._counters:
             self.jobs_run += 1
             if not entry.ok:
                 self.job_failures += 1
@@ -93,7 +199,7 @@ class CompilationService:
             "ok": entry.ok,
             "fingerprint": job.fingerprint(),
             "cached": entry.cached,
-            "disk_hit": disk_hit,
+            "disk_hit": entry.disk_hit,
         }
         if entry.ok:
             response["result"] = entry.result.to_dict()
@@ -102,27 +208,18 @@ class CompilationService:
             response["error"] = entry.error.to_dict()
         return response
 
-    def sweep(self, payload: Mapping[str, object]) -> Dict[str, object]:
-        """Run a sweep descriptor or explicit job list with isolation."""
+    def _execute_sweep(self, payload: Mapping[str, object]
+                       ) -> Dict[str, object]:
         if "jobs" in payload:
-            descriptors = payload["jobs"]
-            if not isinstance(descriptors, list):
-                raise ServiceError("'jobs' must be a list of job descriptors")
             work = [CompileJob.from_dict(descriptor)
-                    for descriptor in descriptors]
+                    for descriptor in payload["jobs"]]
         else:
-            spec = payload.get("spec", payload)
-            if not isinstance(spec, Mapping):
-                raise ServiceError("'spec' must be a sweep descriptor object")
-            work = SweepSpec.from_dict(spec)
-        with self._lock:
-            disk_hits_before = self.session.disk_hits
-            sweep = self.session.run(work, isolate_failures=True)
-            disk_hits = self.session.disk_hits - disk_hits_before
-            self.requests += 1
+            work = SweepSpec.from_dict(payload["spec"])
+        sweep = self.session.run(work, isolate_failures=True)
+        with self._counters:
             self.jobs_run += len(sweep)
             self.job_failures += len(sweep.failures())
-        entries = []
+        entries: List[Dict[str, object]] = []
         for entry in sweep:
             record: Dict[str, object] = {
                 "ok": entry.ok,
@@ -131,6 +228,7 @@ class CompilationService:
                 "policy": entry.job.policy_label,
                 "machine": entry.job.machine.describe(),
                 "cached": entry.cached,
+                "disk_hit": entry.disk_hit,
             }
             if entry.ok:
                 record["result"] = entry.result.to_dict()
@@ -141,29 +239,120 @@ class CompilationService:
             "ok": sweep.ok,
             "count": len(sweep),
             "cache_hits": sweep.cache_hits,
-            "disk_hits": disk_hits,
+            "disk_hits": sum(1 for entry in sweep if entry.disk_hit),
             "entries": entries,
             "rows": sweep.rows(),
         }
 
+    # ------------------------------------------------------------------
+    # Synchronous endpoints (submit + wait over the async path)
+    # ------------------------------------------------------------------
+    def _submit_and_wait(self, kind: str, work: Dict[str, object],
+                         priority: int) -> Dict[str, object]:
+        ticket = self.manager.submit(kind, work, priority=priority)
+        ticket.wait()
+        if ticket.state == DONE:
+            return ticket.response
+        if ticket.state == FAILED:
+            raise self.manager.failure_exception(ticket)
+        raise ServiceError(
+            f"job {ticket.job_id} was cancelled before completing "
+            f"(service shutting down?)")
+
+    def compile(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """Run one job descriptor synchronously; job-level failures ride
+        inside the 200 response as structured error entries.
+
+        Accepts either a bare :meth:`~repro.api.job.CompileJob.from_dict`
+        descriptor or ``{"job": {...}}``.
+        """
+        self._count_request()
+        kind, work, priority = self._parse_submission(payload)
+        if kind != "compile":
+            raise ServiceError("/compile takes a single job descriptor; "
+                               "POST sweeps to /sweep or /jobs")
+        return self._submit_and_wait(kind, work, priority)
+
+    def sweep(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """Run a sweep descriptor or explicit job list synchronously."""
+        self._count_request()
+        if "jobs" not in payload and "spec" not in payload:
+            payload = {"spec": payload.get("spec", payload)}
+        kind, work, priority = self._parse_submission(payload)
+        return self._submit_and_wait(kind, work, priority)
+
+    # ------------------------------------------------------------------
+    # Asynchronous endpoints
+    # ------------------------------------------------------------------
+    def submit_job(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """``POST /jobs``: validate, enqueue, return the ticket at once."""
+        self._count_request()
+        kind, work, priority = self._parse_submission(payload)
+        ticket = self.manager.submit(kind, work, priority=priority)
+        return {
+            "ok": True,
+            "job_id": ticket.job_id,
+            "kind": ticket.kind,
+            "state": ticket.state,
+            "priority": ticket.priority,
+            "queue_depth": len(self.manager.queue),
+        }
+
+    def job_status(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>``: lifecycle record, result inline once DONE."""
+        self._count_request()
+        return self.manager.status(job_id)
+
+    def list_jobs(self, state: Optional[str] = None) -> Dict[str, object]:
+        """``GET /jobs[?state=...]``: compact listing of job records."""
+        self._count_request()
+        records = self.manager.jobs(state=state)
+        return {
+            "count": len(records),
+            "jobs": [{
+                "job_id": job.job_id,
+                "kind": job.kind,
+                "state": job.state,
+                "priority": job.priority,
+                "submitted_at": job.submitted_at,
+            } for job in records],
+        }
+
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        """``POST /jobs/<id>/cancel``: cancel a QUEUED job."""
+        self._count_request()
+        job, cancelled = self.manager.cancel(job_id)
+        return {"ok": True, "job_id": job.job_id, "cancelled": cancelled,
+                "state": job.state}
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Telemetry snapshot: service counters + session/cache stats."""
-        with self._lock:
-            self.requests += 1
-            return {
-                "service": {
-                    "uptime_seconds": time.time() - self.started_at,
-                    "requests": self.requests,
-                    "jobs_run": self.jobs_run,
-                    "job_failures": self.job_failures,
-                },
-                "session": self.session.stats(),
+        """Telemetry snapshot: service + queue/worker + session stats."""
+        self._count_request()
+        manager = self.manager.stats()
+        with self._counters:
+            service = {
+                "uptime_seconds": time.time() - self.started_at,
+                "requests": self.requests,
+                "jobs_run": self.jobs_run,
+                "job_failures": self.job_failures,
+                "queue_depth": manager["queue"]["depth"],
+                "queue_capacity": manager["queue"]["capacity"],
+                "workers": manager["pool"]["workers"],
+                "busy_workers": manager["pool"]["busy"],
+                "worker_utilization": manager["pool"]["utilization"],
             }
+        return {
+            "service": service,
+            "queue": manager,
+            "session": self.session.stats(),
+        }
 
     def registry(self) -> Dict[str, object]:
         """What the service can compile: benchmarks, policies, machines."""
-        with self._lock:
-            self.requests += 1
+        self._count_request()
         return {
             "benchmarks": list(benchmark_names()),
             "policies": sorted(POLICY_PRESETS),
@@ -172,11 +361,11 @@ class CompilationService:
         }
 
     def health(self) -> Dict[str, object]:
-        """Liveness payload."""
-        with self._lock:
-            self.requests += 1
+        """Liveness payload (includes worker liveness for probes)."""
+        self._count_request()
         return {"status": "ok",
-                "uptime_seconds": time.time() - self.started_at}
+                "uptime_seconds": time.time() - self.started_at,
+                "workers_alive": self.manager.pool.alive}
 
 
 class ServiceHTTPHandler(BaseHTTPRequestHandler):
@@ -184,23 +373,18 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     Error mapping: malformed requests (bad JSON, bad descriptors, unknown
     benchmarks/policies — any :class:`~repro.exceptions.ReproError`) are
-    400s; unknown paths 404; unexpected exceptions 500.  Job failures are
-    *not* HTTP errors — they ride inside 200 responses as structured
-    entries.
+    400s; unknown paths and job ids 404; a full queue 503 (with
+    ``depth``/``capacity`` in the error record); unexpected exceptions
+    500.  Job failures are *not* HTTP errors — they ride inside 200
+    responses as structured entries.
     """
 
-    server_version = "ReproCompilationService/1.0"
+    server_version = "ReproCompilationService/2.0"
     protocol_version = "HTTP/1.1"
 
-    _GET_ROUTES = {
-        "/health": "health",
-        "/stats": "stats",
-        "/registry": "registry",
-    }
-    _POST_ROUTES = {
-        "/compile": "compile",
-        "/sweep": "sweep",
-    }
+    _KNOWN = ["GET /health", "GET /stats", "GET /registry", "GET /jobs",
+              "GET /jobs/<id>", "POST /compile", "POST /sweep",
+              "POST /jobs", "POST /jobs/<id>/cancel"]
 
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
@@ -212,10 +396,13 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, error: Exception) -> None:
-        self._send_json(status, {
-            "ok": False,
-            "error": {"type": type(error).__name__, "message": str(error)},
-        })
+        record: Dict[str, object] = {
+            "type": type(error).__name__, "message": str(error),
+        }
+        if isinstance(error, BackPressureError):
+            record["depth"] = error.depth
+            record["capacity"] = error.capacity
+        self._send_json(status, {"ok": False, "error": record})
 
     def _read_payload(self) -> Mapping[str, object]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -230,20 +417,50 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
             raise ServiceError("request body must be a JSON object")
         return payload
 
-    def _dispatch(self, routes: Mapping[str, str],
-                  with_payload: bool) -> None:
-        method_name = routes.get(self.path)
-        if method_name is None:
-            known = sorted(set(self._GET_ROUTES) | set(self._POST_ROUTES))
-            self._send_error_json(404, ServiceError(
-                f"unknown endpoint {self.path!r}; available: {known}"))
-            return
+    # ------------------------------------------------------------------
+    def _resolve(self, method: str, path: str, query: str):
+        """Map (method, path) to a zero-argument service call."""
         service: CompilationService = self.server.service
+        parts = [part for part in path.split("/") if part]
+        if method == "GET":
+            if path == "/health":
+                return service.health
+            if path == "/stats":
+                return service.stats
+            if path == "/registry":
+                return service.registry
+            if path == "/jobs":
+                params = urllib.parse.parse_qs(query)
+                state = params.get("state", [None])[0]
+                return lambda: service.list_jobs(state=state)
+            if len(parts) == 2 and parts[0] == "jobs":
+                return lambda: service.job_status(parts[1])
+        else:
+            if path == "/compile":
+                return lambda: service.compile(self._read_payload())
+            if path == "/sweep":
+                return lambda: service.sweep(self._read_payload())
+            if path == "/jobs":
+                return lambda: service.submit_job(self._read_payload())
+            if len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "cancel":
+                return lambda: service.cancel_job(parts[1])
+        return None
+
+    def _route(self, method: str) -> None:
+        path, _, query = self.path.partition("?")
+        call = self._resolve(method, path, query)
+        if call is None:
+            self._send_error_json(404, ServiceError(
+                f"unknown endpoint {method} {path!r}; "
+                f"available: {self._KNOWN}"))
+            return
         try:
-            if with_payload:
-                response = getattr(service, method_name)(self._read_payload())
-            else:
-                response = getattr(service, method_name)()
+            response = call()
+        except BackPressureError as error:
+            self._send_error_json(503, error)
+        except UnknownJobError as error:
+            self._send_error_json(404, error)
         except ReproError as error:
             self._send_error_json(400, error)
         except Exception as error:  # pragma: no cover - defensive 500
@@ -253,44 +470,73 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        self._dispatch(self._GET_ROUTES, with_payload=False)
+        self._route("GET")
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        self._dispatch(self._POST_ROUTES, with_payload=True)
+        self._route("POST")
 
     def log_message(self, format: str, *args) -> None:
         if getattr(self.server, "verbose", False):
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
 
+class CompilationHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that owns a :class:`CompilationService`.
+
+    ``server_close`` also shuts the service's worker pool down, so the
+    ``shutdown()`` + ``server_close()`` idiom used by tests and the CLI
+    never leaks worker threads or strands queued jobs.
+    """
+
+    service: CompilationService
+
+    def server_close(self) -> None:
+        super().server_close()
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.close()
+
+
 def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                 service: Optional[CompilationService] = None,
                 session: Optional[Session] = None,
                 jobs: int = 1, cache_dir: Optional[str] = None,
-                verbose: bool = False) -> ThreadingHTTPServer:
+                cache_max_bytes: Optional[int] = None,
+                workers: int = DEFAULT_WORKERS,
+                queue_size: int = DEFAULT_QUEUE_SIZE,
+                verbose: bool = False) -> CompilationHTTPServer:
     """Build a ready-to-serve compilation service HTTP server.
 
     The caller owns the life cycle: call ``serve_forever()`` (typically
     on a background thread in tests), and ``shutdown()`` +
-    ``server_close()`` when done.  Pass ``port=0`` to bind an ephemeral
-    port (read it back from ``server.server_address``).
+    ``server_close()`` when done (``server_close`` also stops the worker
+    pool).  Pass ``port=0`` to bind an ephemeral port (read it back from
+    ``server.server_address``).
     """
-    server = ThreadingHTTPServer((host, port), ServiceHTTPHandler)
-    server.service = service or CompilationService(session=session, jobs=jobs,
-                                                   cache_dir=cache_dir)
+    server = CompilationHTTPServer((host, port), ServiceHTTPHandler)
+    server.service = service or CompilationService(
+        session=session, jobs=jobs, cache_dir=cache_dir,
+        cache_max_bytes=cache_max_bytes,
+        workers=workers, queue_size=queue_size)
     server.verbose = verbose
     return server
 
 
 def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
           jobs: int = 1, cache_dir: Optional[str] = None,
+          cache_max_bytes: Optional[int] = None,
+          workers: int = DEFAULT_WORKERS,
+          queue_size: int = DEFAULT_QUEUE_SIZE,
           verbose: bool = True) -> None:
     """Run the service in the foreground until interrupted (CLI helper)."""
     server = make_server(host, port, jobs=jobs, cache_dir=cache_dir,
+                         cache_max_bytes=cache_max_bytes,
+                         workers=workers, queue_size=queue_size,
                          verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro compilation service on http://{bound_host}:{bound_port} "
-          f"(jobs={jobs}, cache_dir={cache_dir or 'none'}) — Ctrl-C to stop")
+          f"(workers={workers}, queue_size={queue_size}, jobs={jobs}, "
+          f"cache_dir={cache_dir or 'none'}) — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -1,0 +1,83 @@
+"""Benchmark: job throughput through the async service queue.
+
+Establishes the service-layer performance trajectory the ROADMAP asks
+for: how many jobs per second the queue → worker-pool → session pipeline
+sustains, separated into
+
+* **queue overhead** — a no-op runner, so the measurement is purely the
+  submit/enqueue/dispatch/record machinery, and
+* **cached service jobs** — real ``/compile``-shaped jobs through a
+  :class:`~repro.service.server.CompilationService` whose session memo
+  is warm, i.e. the per-request overhead a saturated server pays even
+  when every result is a cache hit.
+
+Both assert a generous throughput floor so a catastrophic regression
+(e.g. a lock serializing the pipeline) fails loudly rather than just
+drifting in the timings.
+"""
+
+from __future__ import annotations
+
+from repro.api import CompileJob, MachineSpec
+from repro.queue import JobManager
+from repro.service.server import CompilationService
+
+from benchmarks.conftest import run_once
+
+#: Jobs pushed through each pipeline per measurement round.
+QUEUE_JOBS = 500
+SERVICE_JOBS = 200
+
+GRID = MachineSpec.nisq_grid(5, 5)
+RD53 = CompileJob.for_benchmark("RD53", GRID, "square")
+
+
+def drain_noop_manager(jobs: int, workers: int) -> int:
+    """Submit ``jobs`` no-op jobs and wait for the last to finish."""
+    manager = JobManager(lambda job: {"ok": True}, workers=workers,
+                         queue_size=jobs, retention=jobs)
+    try:
+        tickets = [manager.submit("compile", {"job": {}})
+                   for _ in range(jobs)]
+        for ticket in tickets:
+            manager.wait(ticket.job_id, timeout=60)
+        return manager.completed
+    finally:
+        manager.close()
+
+
+def drain_cached_service(service: CompilationService, jobs: int) -> int:
+    """Run ``jobs`` memoized compile requests through the full service."""
+    done = 0
+    for _ in range(jobs):
+        response = service.compile({"job": RD53.to_dict()})
+        done += 1 if response["ok"] else 0
+    return done
+
+
+def test_bench_queue_throughput(benchmark):
+    """Raw queue machinery: submit → dispatch → record, no-op work."""
+    completed = run_once(benchmark, drain_noop_manager, QUEUE_JOBS,
+                         workers=2)
+    assert completed == QUEUE_JOBS
+    jobs_per_second = QUEUE_JOBS / benchmark.stats.stats.mean
+    benchmark.extra_info["jobs_per_second"] = round(jobs_per_second, 1)
+    # Catastrophe floor only (~1000x below observed throughput): this
+    # runs in the default pytest collection, so it must never flake on
+    # a throttled CI machine — the trajectory lives in the timings.
+    assert jobs_per_second > 20
+
+
+def test_bench_cached_service_throughput(benchmark):
+    """Full service stack per-request overhead with a warm memo cache."""
+    service = CompilationService(workers=2, queue_size=SERVICE_JOBS)
+    try:
+        service.compile({"job": RD53.to_dict()})  # warm the memo
+        completed = run_once(benchmark, drain_cached_service, service,
+                             SERVICE_JOBS)
+        assert completed == SERVICE_JOBS
+        jobs_per_second = SERVICE_JOBS / benchmark.stats.stats.mean
+        benchmark.extra_info["jobs_per_second"] = round(jobs_per_second, 1)
+        assert jobs_per_second > 5  # catastrophe floor, as above
+    finally:
+        service.close()

@@ -31,6 +31,9 @@ Sessions scale past one process: ``Session(cache_dir=...)`` persists
 results on disk across restarts, and :mod:`repro.service` serves the
 same session over HTTP (``python -m repro.experiments serve``) with a
 session-shaped :class:`~repro.service.ServiceClient` on the other end.
+Past one *machine*, :mod:`repro.cluster` shards a sweep across a fleet
+of servers by fingerprint hash and streams per-entry results back as
+workers finish them (``python -m repro.experiments cluster-sweep``).
 
 Policies and benchmarks are open registries — see
 :func:`repro.core.policies.register_allocation_policy`,
@@ -69,7 +72,7 @@ from repro.core import (
 from repro.ir import Circuit, ModuleBuilder, Program, QModule
 from repro.workloads import register_benchmark
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Circuit",

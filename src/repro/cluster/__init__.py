@@ -1,0 +1,73 @@
+"""Sharded multi-server sweeps with streaming per-entry results.
+
+The horizontal-scaling layer above :mod:`repro.service`: where one
+compile server absorbs a sweep through its job queue, a
+:class:`ClusterCoordinator` splits the sweep across a *fleet* of
+servers and merges their streamed results:
+
+* :mod:`repro.cluster.topology` — :class:`WorkerEndpoint` /
+  :class:`ClusterTopology`: fleet membership, ``/health`` probing,
+  liveness bookkeeping.
+* :mod:`repro.cluster.sharding` — deterministic rendezvous hashing of
+  job fingerprints to endpoints, so repeated sweeps hit the same
+  servers' warm disk caches and a dead worker only moves its own jobs.
+* :mod:`repro.cluster.streaming` — :class:`ShardConsumer`: one thread
+  per shard long-polling ``GET /jobs/<id>/entries``, delivering entries
+  the moment workers finish them.
+* :mod:`repro.cluster.coordinator` — :class:`ClusterCoordinator`:
+  expand → shard → submit → stream → heal (re-dispatch after worker
+  death or 503 back-pressure) → deterministic merge.  A two-worker
+  cluster sweep exports byte-identical JSON/CSV to a serial
+  single-session run.
+
+Quick start (servers already listening)::
+
+    from repro.api import MachineSpec, SweepSpec
+    from repro.cluster import ClusterCoordinator
+
+    spec = (SweepSpec()
+            .with_benchmarks("RD53", "ADDER4", "6SYM")
+            .with_machines(MachineSpec.nisq_grid(5, 5))
+            .with_policies("lazy", "square"))
+    coordinator = ClusterCoordinator([
+        "http://127.0.0.1:8731", "http://127.0.0.1:8732",
+    ])
+    sweep = coordinator.run(spec, on_entry=lambda i, e: print(i, e.ok))
+    sweep.to_csv("cluster.csv")
+
+Or from the command line: ``python -m repro.experiments cluster-sweep
+RD53 ADDER4 --endpoint http://127.0.0.1:8731 --endpoint
+http://127.0.0.1:8732``.
+"""
+
+from repro.cluster.coordinator import ClusterCoordinator, cluster_sweep
+from repro.cluster.sharding import (
+    assign_endpoint,
+    shard_counts,
+    shard_jobs,
+    shard_weight,
+)
+from repro.cluster.streaming import (
+    COMPLETED,
+    CRASHED,
+    DIED,
+    UNFINISHED,
+    ShardConsumer,
+)
+from repro.cluster.topology import ClusterTopology, WorkerEndpoint
+
+__all__ = [
+    "COMPLETED",
+    "CRASHED",
+    "ClusterCoordinator",
+    "ClusterTopology",
+    "DIED",
+    "ShardConsumer",
+    "UNFINISHED",
+    "WorkerEndpoint",
+    "assign_endpoint",
+    "cluster_sweep",
+    "shard_counts",
+    "shard_jobs",
+    "shard_weight",
+]

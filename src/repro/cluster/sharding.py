@@ -1,0 +1,75 @@
+"""Deterministic job-to-worker assignment by fingerprint hashing.
+
+Jobs are assigned to worker endpoints with rendezvous (highest-random-
+weight) hashing over the pair ``(job fingerprint, endpoint key)``:
+
+* **Deterministic** — the same fingerprint against the same endpoint set
+  always lands on the same endpoint, in any process, with no shared
+  state.  Repeated sweeps therefore hit the same server's warm
+  :class:`~repro.service.cache.DiskCache` instead of recompiling
+  elsewhere.
+* **Stable under membership change** — when an endpoint dies, only *its*
+  jobs move (each to its second-choice endpoint); jobs on surviving
+  endpoints stay put, so a re-dispatch round never invalidates the
+  survivors' cache affinity.
+
+The hash is :func:`hashlib.sha256` over ``"<fingerprint>|<endpoint>"``
+— no process salt, unlike builtin ``hash()`` — so coordinator restarts
+and independent coordinators agree on the placement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ClusterError
+from repro.api.job import CompileJob
+
+
+def shard_weight(fingerprint: str, endpoint_key: str) -> int:
+    """Rendezvous weight of one (job, endpoint) pair."""
+    digest = hashlib.sha256(
+        f"{fingerprint}|{endpoint_key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def assign_endpoint(fingerprint: str,
+                    endpoint_keys: Sequence[str]) -> str:
+    """The endpoint a fingerprint lands on: highest rendezvous weight.
+
+    Ties (astronomically unlikely with a 64-bit weight) break toward the
+    lexicographically smallest endpoint key, keeping the choice
+    deterministic either way.
+    """
+    if not endpoint_keys:
+        raise ClusterError("cannot assign a job: no worker endpoints")
+    return max(sorted(endpoint_keys),
+               key=lambda key: shard_weight(fingerprint, key))
+
+
+def shard_jobs(jobs: Sequence[Tuple[str, CompileJob]],
+               endpoint_keys: Sequence[str]
+               ) -> "OrderedDict[str, List[Tuple[str, CompileJob]]]":
+    """Partition ``(fingerprint, job)`` pairs across endpoints.
+
+    Returns an ordered mapping of endpoint key to its shard, with
+    endpoints in the order given and each shard preserving the input
+    job order — the deterministic layout the coordinator's merge step
+    relies on.  Endpoints drawing no jobs are omitted.
+    """
+    shards: "OrderedDict[str, List[Tuple[str, CompileJob]]]" = OrderedDict()
+    for key in endpoint_keys:
+        shards[key] = []
+    for fingerprint, job in jobs:
+        shards[assign_endpoint(fingerprint, endpoint_keys)].append(
+            (fingerprint, job))
+    for key in [key for key, shard in shards.items() if not shard]:
+        del shards[key]
+    return shards
+
+
+def shard_counts(shards: Dict[str, List]) -> Dict[str, int]:
+    """Shard sizes keyed by endpoint — telemetry/log helper."""
+    return {key: len(shard) for key, shard in shards.items()}

@@ -1,0 +1,162 @@
+"""Cluster membership: worker endpoints, health probes, liveness state.
+
+A :class:`ClusterTopology` is the coordinator's view of the fleet: an
+ordered, deduplicated set of :class:`WorkerEndpoint` records, each
+wrapping a :class:`~repro.service.client.ServiceClient` plus liveness
+bookkeeping.  Probing is active (``GET /health``), and the coordinator
+additionally marks endpoints dead when their transport fails mid-sweep;
+a dead endpoint stays registered — :meth:`ClusterTopology.probe_all`
+revives it if a later probe succeeds, so a restarted server rejoins the
+fleet without reconfiguration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ClusterError, ServiceError
+from repro.service.client import ServiceClient
+
+
+class WorkerEndpoint:
+    """One compile server in the fleet, plus its liveness record.
+
+    Attributes:
+        url: Normalized service root (no trailing slash) — also the
+            endpoint's sharding key.
+        client: The HTTP client used for every call to this server.
+        alive: Current liveness belief (probe result or mid-sweep
+            transport failure).
+        last_error: Message of the failure that last marked the
+            endpoint dead, or None.
+        probes / failures: Lifetime counters for telemetry.
+    """
+
+    def __init__(self, url: str, client=None, *,
+                 client_factory: Callable[[str], ServiceClient] = None
+                 ) -> None:
+        self.url = url.rstrip("/")
+        if client is None:
+            factory = client_factory or ServiceClient
+            client = factory(self.url)
+        self.client = client
+        self.alive = True
+        self.last_error: Optional[str] = None
+        self.last_probe_at: Optional[float] = None
+        self.probes = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    def probe(self) -> bool:
+        """One ``GET /health`` round trip; updates and returns liveness."""
+        self.probes += 1
+        self.last_probe_at = time.time()
+        try:
+            payload = self.client.health()
+        except ServiceError as error:
+            self.mark_dead(f"health probe failed: {error}")
+            return False
+        if payload.get("status") != "ok":
+            self.mark_dead(f"health probe returned {payload!r}")
+            return False
+        self.alive = True
+        self.last_error = None
+        return True
+
+    def mark_dead(self, reason: str) -> None:
+        """Record a liveness failure (probe or mid-sweep transport)."""
+        self.alive = False
+        self.last_error = reason
+        self.failures += 1
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-compatible liveness telemetry."""
+        return {
+            "url": self.url,
+            "alive": self.alive,
+            "last_error": self.last_error,
+            "last_probe_at": self.last_probe_at,
+            "probes": self.probes,
+            "failures": self.failures,
+        }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"WorkerEndpoint({self.url!r}, {state})"
+
+
+class ClusterTopology:
+    """The ordered fleet of worker endpoints a coordinator drives.
+
+    Args:
+        endpoints: Service root URLs (or prebuilt
+            :class:`WorkerEndpoint` records); duplicates collapse to
+            one, order is preserved.
+        client_factory: ``factory(url) -> client`` override, used by
+            tests to inject deterministic fake workers.
+    """
+
+    def __init__(self,
+                 endpoints: Sequence[Union[str, WorkerEndpoint]], *,
+                 client_factory: Callable[[str], ServiceClient] = None
+                 ) -> None:
+        self._endpoints: "OrderedDict[str, WorkerEndpoint]" = OrderedDict()
+        self._lock = threading.Lock()
+        for endpoint in endpoints:
+            if not isinstance(endpoint, WorkerEndpoint):
+                endpoint = WorkerEndpoint(endpoint,
+                                          client_factory=client_factory)
+            self._endpoints.setdefault(endpoint.url, endpoint)
+        if not self._endpoints:
+            raise ClusterError("a cluster needs at least one worker "
+                               "endpoint URL")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    def __iter__(self):
+        return iter(self._endpoints.values())
+
+    def get(self, url: str) -> WorkerEndpoint:
+        """The endpoint registered under ``url``.
+
+        Raises:
+            ClusterError: Unknown endpoint URL.
+        """
+        endpoint = self._endpoints.get(url.rstrip("/"))
+        if endpoint is None:
+            raise ClusterError(f"unknown worker endpoint {url!r}; "
+                               f"registered: {list(self._endpoints)}")
+        return endpoint
+
+    def alive(self) -> List[WorkerEndpoint]:
+        """Endpoints currently believed alive, in registration order."""
+        return [endpoint for endpoint in self if endpoint.alive]
+
+    def probe_all(self) -> List[WorkerEndpoint]:
+        """Probe every endpoint (reviving recovered ones); returns the
+        alive list."""
+        for endpoint in self:
+            endpoint.probe()
+        return self.alive()
+
+    def mark_dead(self, endpoint: WorkerEndpoint, reason: str) -> None:
+        """Record an endpoint death observed outside a probe."""
+        with self._lock:
+            endpoint.mark_dead(reason)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-compatible fleet telemetry."""
+        return {
+            "endpoints": [endpoint.stats() for endpoint in self],
+            "registered": len(self),
+            "alive": len(self.alive()),
+        }
+
+    def __repr__(self) -> str:
+        return (f"ClusterTopology(registered={len(self)}, "
+                f"alive={len(self.alive())})")

@@ -96,6 +96,17 @@ class BackPressureError(ServiceError):
         self.capacity = capacity
 
 
+class ClusterError(ServiceError):
+    """Raised when a multi-server sweep cannot be completed.
+
+    Signals cluster-level exhaustion — no live workers remain, or the
+    re-dispatch budget ran out with jobs still unfinished — rather than
+    any single job's failure (those stay structured
+    :class:`repro.core.result.JobFailure` entries, exactly as in a
+    single-server sweep).
+    """
+
+
 class UnknownJobError(ServiceError):
     """Raised when a job id does not name a live queued-job record.
 

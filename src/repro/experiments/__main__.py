@@ -19,6 +19,9 @@ Examples::
     python -m repro.experiments compile MODEXP --policy square --scale quick
     python -m repro.experiments serve --port 8731 --workers 4 \\
         --queue-size 128 --cache-dir ~/.cache/repro
+    python -m repro.experiments cluster-sweep RD53 ADDER4 \\
+        --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732 \\
+        --policies lazy square --grid 5 5 --export cluster.csv
 """
 
 from __future__ import annotations
@@ -89,6 +92,41 @@ def _run_sweep(session: Session, args: argparse.Namespace) -> tuple[str, list]:
     return text, sweep.rows()
 
 
+def _run_cluster_sweep(args: argparse.Namespace) -> tuple[str, list]:
+    """Shard a sweep across the given service endpoints, streaming
+    per-entry progress lines as workers finish jobs."""
+    from repro.cluster import ClusterCoordinator
+
+    benchmarks = tuple(args.names) or tuple(benchmark_names())
+    spec = SweepSpec(
+        benchmarks=benchmarks,
+        machines=(_machine_spec(args),),
+        policies=tuple(args.policies or DEFAULT_POLICIES),
+        scales=(args.scale,),
+    )
+    total = len(spec)
+
+    def progress(index: int, entry) -> None:
+        status = "ok" if entry.ok else f"FAILED ({entry.error.error_type})"
+        print(f"  [{index + 1}/{total}] {entry.job.program_label} / "
+              f"{entry.job.policy_label}: {status}", flush=True)
+
+    coordinator = ClusterCoordinator(args.endpoint)
+    started = time.perf_counter()
+    sweep = coordinator.run(spec, on_entry=progress)
+    elapsed = time.perf_counter() - started
+    fleet = coordinator.stats()
+    title = (f"Cluster sweep: {len(benchmarks)} benchmark(s) x "
+             f"{len(spec.policies)} policy(ies) at scale {args.scale} "
+             f"across {fleet['topology']['registered']} worker(s)")
+    text = (sweep.table(title)
+            + f"\n[{len(sweep)} jobs completed in {elapsed:.1f}s, "
+            f"{fleet['rounds_run']} dispatch round(s), "
+            f"{fleet['redispatched_jobs']} re-dispatched, "
+            f"{fleet['topology']['alive']} worker(s) alive]\n")
+    return text, sweep.rows()
+
+
 def _run_compile(session: Session, args: argparse.Namespace) -> tuple[str, list]:
     if not args.names:
         raise SystemExit("compile needs a benchmark name, e.g. "
@@ -128,10 +166,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
-                                                       "compile", "serve"],
+                                                       "compile", "serve",
+                                                       "cluster-sweep"],
                         help="which table/figure to regenerate, `sweep` / "
-                             "`compile` for ad-hoc jobs, or `serve` to "
-                             "expose the session over HTTP")
+                             "`compile` for ad-hoc jobs, `serve` to expose "
+                             "the session over HTTP, or `cluster-sweep` to "
+                             "shard a sweep across running servers")
     parser.add_argument("names", nargs="*",
                         help="benchmark names for `sweep` (default: all) "
                              "and `compile`")
@@ -171,6 +211,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-max-bytes", type=int, metavar="BYTES",
                         help="disk cache size cap; overflow evicts "
                              "least-recently-used results (`serve` only)")
+    parser.add_argument("--endpoint", action="append", metavar="URL",
+                        help="compile-server URL for `cluster-sweep`; "
+                             "repeat for each worker in the fleet")
     args = parser.parse_args(argv)
 
     if args.experiment != "serve":
@@ -180,6 +223,24 @@ def main(argv: list[str] | None = None) -> int:
                 or args.cache_max_bytes is not None:
             parser.error("--workers/--queue-size/--cache-max-bytes only "
                          "apply to `serve`")
+    if args.experiment != "cluster-sweep" and args.endpoint:
+        parser.error("--endpoint only applies to `cluster-sweep`")
+    if args.experiment == "cluster-sweep":
+        if not args.endpoint:
+            parser.error("cluster-sweep needs at least one --endpoint URL "
+                         "(repeat the flag for each worker)")
+        if args.jobs != 1 or args.cache_dir:
+            parser.error("--jobs/--cache-dir do not apply to "
+                         "`cluster-sweep`; compilation (and caching) "
+                         "happens on the servers")
+        text, rows = _run_cluster_sweep(args)
+        print(text)
+        if args.export:
+            from repro.analysis.report import export_rows
+
+            export_rows(rows, path=args.export)
+            print(f"[exported {len(rows)} rows to {args.export}]")
+        return 0
     if args.experiment == "serve":
         for flag, given in (("--export", args.export),
                             ("--scale", args.scale != "laptop"),

@@ -15,7 +15,9 @@ requests.
 * :mod:`repro.queue.workers` — :class:`WorkerPool` threads draining the
   queue with per-job failure isolation and graceful shutdown.
 * :mod:`repro.queue.manager` — :class:`JobManager` tying them together:
-  submit/status/result/cancel/list plus retention-based GC.
+  submit/status/result/cancel/list plus retention-based GC and the
+  per-entry progress stream (``record_entry``/``entries_since``) that
+  long-poll endpoints and cluster coordinators consume.
 
 :mod:`repro.service` mounts a :class:`JobManager` behind its HTTP
 endpoints (``/jobs``, ``/jobs/<id>``, ``/jobs/<id>/cancel``); the

@@ -15,13 +15,19 @@ happens under the manager's lock), so the record itself stays a plain
 mutable object.  A :class:`threading.Event` fires exactly once, when the
 job reaches any terminal state, which is what synchronous waiters and
 ``wait_for`` poll loops block on.
+
+Long-running jobs (sweeps) additionally stream *per-entry* progress: the
+worker appends one record per finished entry via :meth:`QueuedJob.add_entry`,
+and :meth:`QueuedJob.entries_since` is the long-poll primitive behind the
+``GET /jobs/<id>/entries?since=N`` endpoint — the entry list is
+append-only, so a ``since`` cursor can never skip or duplicate entries.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ServiceError
 
@@ -67,6 +73,8 @@ class QueuedJob:
         exception: The in-process exception object behind ``error`` —
             never serialized, used by the synchronous submit-and-wait
             path to re-raise the original type.
+        entries: Append-only per-entry progress records, published by the
+            worker as each sweep entry finishes (streaming surface).
     """
 
     def __init__(self, job_id: str, kind: str,
@@ -82,7 +90,9 @@ class QueuedJob:
         self.response: Optional[Dict[str, object]] = None
         self.error: Optional[Dict[str, object]] = None
         self.exception: Optional[BaseException] = None
+        self.entries: List[Dict[str, object]] = []
         self._done = threading.Event()
+        self._entries_cond = threading.Condition()
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +119,46 @@ class QueuedJob:
         return self._done.wait(timeout)
 
     # ------------------------------------------------------------------
+    # Per-entry streaming
+    # ------------------------------------------------------------------
+    def add_entry(self, record: Mapping[str, object]) -> int:
+        """Append one finished-entry record; returns the new entry count.
+
+        Called by the worker as each sweep entry completes, *before* the
+        job's terminal transition, so a reader that observes a terminal
+        state is guaranteed to see the complete entry list.
+        """
+        with self._entries_cond:
+            self.entries.append(dict(record))
+            self._entries_cond.notify_all()
+            return len(self.entries)
+
+    def entries_since(self, since: int = 0,
+                      timeout: Optional[float] = None
+                      ) -> Tuple[str, List[Dict[str, object]], int]:
+        """Long-poll for entries beyond the ``since`` cursor.
+
+        Blocks until at least one entry past ``since`` exists, the job is
+        terminal, or ``timeout`` elapses; returns ``(state, entries[since:],
+        total)`` read atomically, so a terminal ``state`` means the
+        returned slice completes the stream.  The list is append-only:
+        consecutive calls with ``since`` advanced by the slice length
+        never skip or duplicate an entry.
+        """
+        if since < 0:
+            raise ServiceError(f"entry cursor must be >= 0, got {since}")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._entries_cond:
+            while len(self.entries) <= since and not self.is_terminal:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                if not self._entries_cond.wait(remaining):
+                    break
+            return self.state, list(self.entries[since:]), len(self.entries)
+
+    # ------------------------------------------------------------------
     def transition(self, state: str) -> None:
         """Move to ``state``, enforcing the lifecycle diagram.
 
@@ -128,6 +178,10 @@ class QueuedJob:
         if state in TERMINAL_STATES:
             self.finished_at = now
             self._done.set()
+            # Entry-stream long-pollers must wake on the terminal
+            # transition too: it is their end-of-stream signal.
+            with self._entries_cond:
+                self._entries_cond.notify_all()
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -146,6 +200,7 @@ class QueuedJob:
             "finished_at": self.finished_at,
             "wait_seconds": self.wait_seconds,
             "run_seconds": self.run_seconds,
+            "entry_count": len(self.entries),
         }
         if self.response is not None:
             record["response"] = self.response

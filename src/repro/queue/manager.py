@@ -27,7 +27,7 @@ import itertools
 import json
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ReproError, ServiceError, UnknownJobError
 from repro.core.result import JobFailure
@@ -76,6 +76,7 @@ class JobManager:
         self.failed = 0
         self.cancelled = 0
         self.gc_dropped = 0
+        self.entries_recorded = 0
         # Started last: workers may pop as soon as this line runs.
         self.pool = WorkerPool(self._run_job, self.queue, workers=workers,
                                name=name)
@@ -149,16 +150,67 @@ class JobManager:
         raise ServiceError(
             f"job {job_id} has no result (state={job.state})")
 
-    def jobs(self, state: Optional[str] = None) -> List[QueuedJob]:
-        """Snapshot of records in submission order, optionally filtered."""
+    def jobs(self, state: Optional[str] = None,
+             limit: Optional[int] = None) -> List[QueuedJob]:
+        """Snapshot of records in submission order, optionally filtered.
+
+        Args:
+            state: Keep only records currently in this lifecycle state.
+            limit: Keep only the *most recently submitted* ``limit``
+                records (applied after the state filter), so a busy
+                server's job listing stays cheap to fetch.
+        """
         if state is not None and state not in STATES:
             raise ServiceError(f"unknown job state {state!r}; "
                                f"expected one of {list(STATES)}")
+        if limit is not None and limit < 0:
+            raise ServiceError(f"limit must be >= 0, got {limit}")
         with self._lock:
             records = list(self._jobs.values())
-        if state is None:
-            return records
-        return [job for job in records if job.state == state]
+        if state is not None:
+            records = [job for job in records if job.state == state]
+        if limit is not None:
+            records = records[len(records) - min(limit, len(records)):]
+        return records
+
+    # ------------------------------------------------------------------
+    # Per-entry streaming
+    # ------------------------------------------------------------------
+    def record_entry(self, job: QueuedJob,
+                     record: Mapping[str, object]) -> None:
+        """Publish one finished-entry record on a job's progress stream.
+
+        Called by the runner (worker thread) as each sweep entry
+        completes; long-pollers blocked in :meth:`entries_since` wake
+        immediately.
+        """
+        job.add_entry(record)
+        with self._lock:
+            self.entries_recorded += 1
+
+    def entries_since(self, job_id: str, since: int = 0,
+                      timeout: Optional[float] = None) -> Dict[str, object]:
+        """Long-poll payload for entries beyond the ``since`` cursor.
+
+        Blocks until new entries exist, the job is terminal, or
+        ``timeout`` elapses.  The payload's ``state`` is read atomically
+        with the entry slice, so a terminal state means the slice
+        completes the stream; ``next`` is the cursor to resume from.
+
+        Raises:
+            UnknownJobError: Unknown or garbage-collected job id.
+            ServiceError: Negative ``since`` cursor.
+        """
+        job = self.get(job_id)
+        state, entries, total = job.entries_since(since, timeout)
+        return {
+            "job_id": job.job_id,
+            "state": state,
+            "since": since,
+            "next": since + len(entries),
+            "total": total,
+            "entries": entries,
+        }
 
     # ------------------------------------------------------------------
     # Cancellation
@@ -292,6 +344,7 @@ class JobManager:
             "retained": retained,
             "retention": self.retention,
             "gc_dropped": self.gc_dropped,
+            "entries_recorded": self.entries_recorded,
             "states": states,
         }
         return stats

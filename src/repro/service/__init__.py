@@ -15,7 +15,9 @@ HTTP with results that survive restarts:
   polling and cancellation, structured 503 back-pressure when full.
 * :class:`ServiceClient` — session-shaped client with both synchronous
   calls and the async ``submit_async``/``poll``/``wait_for``/``cancel``
-  surface; idempotent GETs retry with exponential backoff, so poll
+  surface, plus ``iter_entries`` streaming a sweep's per-entry results
+  as workers finish them (the feed :mod:`repro.cluster` shards over a
+  fleet); idempotent GETs retry with exponential backoff, so poll
   loops survive server restarts.
 
 Quick start (one process)::

@@ -36,6 +36,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -99,6 +100,7 @@ class DiskCache:
         self.corrupt = 0
         self.writes = 0
         self.evictions = 0
+        self.orphans_removed = 0
         self._index_dirty = False
         self._index: Dict[str, Dict[str, object]] = self._load_index()
         #: Running payload-byte estimate so an under-cap put stays O(1);
@@ -355,6 +357,79 @@ class DiskCache:
             self._write_index()
             self._index_dirty = False
 
+    def gc_orphans(self, min_age_seconds: float = 60.0) -> int:
+        """Remove orphaned files a crashed writer left behind; returns
+        the number of files deleted.
+
+        Orphans are files in ``results/`` that are not live committed
+        cache entries:
+
+        * leftover ``*.tmp`` files from an interrupted atomic write, and
+        * payload files whose fingerprint no index ever committed — a
+          writer that died between ``put`` and ``flush_index`` in a
+          *shared* cache directory (a fresh process over its own
+          directory adopts such payloads at startup instead), or
+          mislabelled/corrupt strays that never validated into any
+          index rebuild.
+
+        Entries committed by other writers sharing the directory are
+        merged in first (under the index file lock) and never removed,
+        and only files older than ``min_age_seconds`` are candidates —
+        a concurrent writer's *in-flight* temp file (mkstemp done,
+        ``os.replace`` pending) or just-written payload must never be
+        yanked out from under it.  Hygiene for long-lived servers
+        sharing one cache directory; safe to call any time — at worst a
+        not-yet-flushed entry older than the threshold is swept, which
+        only costs a recompile.
+        """
+        removed = 0
+        cutoff = time.time() - max(0.0, min_age_seconds)
+        with self._lock:
+            with self._index_file_lock():
+                self._merge_foreign_entries()
+                for path in sorted(self.results_dir.iterdir()):
+                    try:
+                        if path.stat().st_mtime > cutoff:
+                            continue
+                    except OSError:
+                        continue
+                    if not self._is_orphan_locked(path):
+                        continue
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
+                # Drop index entries whose payloads are gone (another
+                # process may have evicted them) and persist the tidied
+                # index so the next load is not flagged stale.
+                self._index = {fingerprint: meta for fingerprint, meta
+                               in self._index.items() if fingerprint in self}
+                payload = {"version": CACHE_VERSION, "entries": self._index}
+                _atomic_write_text(self.index_path,
+                                   json.dumps(payload, sort_keys=True,
+                                              indent=1))
+                self._index_dirty = False
+            self.orphans_removed += removed
+            if self.max_bytes is not None:
+                self._bytes = self.total_bytes()
+        return removed
+
+    def _is_orphan_locked(self, path: Path) -> bool:
+        """True when ``path`` is not a live committed cache entry.
+
+        Pure metadata checks — committed entries (the overwhelming
+        common case) are recognised by the merged index without reading
+        the payload, so a sweep over a large cache stays cheap while
+        both locks are held.  Corrupt-but-committed payloads are left
+        alone; the next read miss recompiles over them anyway.
+        """
+        if not path.is_file():
+            return False
+        if path.suffix != ".json":
+            return True  # stray temp file from an interrupted write
+        return path.stem not in self._index
+
     def total_bytes(self) -> int:
         """Current payload size on disk (what ``max_bytes`` caps)."""
         total = 0
@@ -377,6 +452,7 @@ class DiskCache:
             "corrupt": self.corrupt,
             "writes": self.writes,
             "evictions": self.evictions,
+            "orphans_removed": self.orphans_removed,
         }
 
     def __repr__(self) -> str:

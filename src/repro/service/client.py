@@ -13,9 +13,12 @@ remote compilation by swapping one object::
 
 On top of the synchronous surface sits the asynchronous job API:
 ``submit_async`` returns a ticket id immediately (the server queues the
-work), ``poll``/``wait_for`` watch it to a terminal state, ``cancel``
-withdraws a still-queued job, and ``result_of`` unwraps a finished
-ticket into the usual result objects.
+work), ``poll``/``wait_for`` watch it to a terminal state (polling with
+adaptive backoff so long compilations don't hammer the server),
+``cancel`` withdraws a still-queued job, ``result_of`` unwraps a
+finished ticket into the usual result objects, and ``iter_entries``
+streams a sweep's per-entry results as workers finish them — the feed
+the :mod:`repro.cluster` coordinator merges across servers.
 
 Pure stdlib (``urllib``).  Transport and protocol problems raise
 :class:`~repro.exceptions.ServiceError` — except a full server queue,
@@ -31,6 +34,7 @@ local session would.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -101,6 +105,18 @@ class ServiceClient:
                     f"cannot reach compilation service at {self.base_url}: "
                     f"{error.reason}"
                 ) from None
+            except (ConnectionError, http.client.HTTPException) as error:
+                # A server dying *mid-request* surfaces as a raw socket
+                # reset or a half-written HTTP response rather than a
+                # URLError; same transient treatment, same GET-only
+                # retry (a died long-poll is safe to reissue).
+                if method == "GET" and attempt + 1 < attempts:
+                    time.sleep(self.backoff * (2 ** attempt))
+                    continue
+                raise ServiceError(
+                    f"connection to {self.base_url} failed mid-request "
+                    f"on {path}: {error!r}"
+                ) from None
         try:
             decoded = json.loads(body)
         except ValueError as error:
@@ -114,7 +130,13 @@ class ServiceClient:
     @staticmethod
     def _http_error(path: str,
                     error: urllib.error.HTTPError) -> ServiceError:
-        """Rebuild the service-side error as the right client exception."""
+        """Rebuild the service-side error as the right client exception.
+
+        The returned exception carries the HTTP status as
+        ``http_status``, so callers (e.g. the cluster coordinator) can
+        tell a deterministic rejection (4xx: the request is bad on any
+        server) from a transport-level failure (no status at all).
+        """
         detail = ""
         record: Dict[str, object] = {}
         try:
@@ -126,12 +148,15 @@ class ServiceClient:
         suffix = f": {detail}" if detail else ""
         message = f"{path} failed with HTTP {error.code}{suffix}"
         if record.get("type") == "BackPressureError":
-            return BackPressureError(message,
-                                     depth=int(record.get("depth", 0)),
-                                     capacity=int(record.get("capacity", 0)))
-        if record.get("type") == "UnknownJobError":
-            return UnknownJobError(message)
-        return ServiceError(message)
+            rebuilt: ServiceError = BackPressureError(
+                message, depth=int(record.get("depth", 0)),
+                capacity=int(record.get("capacity", 0)))
+        elif record.get("type") == "UnknownJobError":
+            rebuilt = UnknownJobError(message)
+        else:
+            rebuilt = ServiceError(message)
+        rebuilt.http_status = error.code
+        return rebuilt
 
     def _get(self, path: str) -> Dict:
         return self._request("GET", path)
@@ -270,16 +295,23 @@ class ServiceClient:
         return self._get(f"/jobs/{job_id}")
 
     def wait_for(self, job_id: str, timeout: Optional[float] = None,
-                 interval: float = 0.05) -> Dict:
+                 interval: float = 0.05, max_interval: float = 2.0) -> Dict:
         """Poll until the job is terminal; returns the final record.
+
+        The poll interval backs off adaptively: it starts at
+        ``interval`` and grows geometrically to ``max_interval``, so a
+        quick job is noticed within milliseconds while a long
+        compilation costs the server a few polls per second at most.
 
         Args:
             job_id: Ticket from :meth:`submit_async`.
             timeout: Give up (with :class:`ServiceError`) after this
                 many seconds; None waits forever.
-            interval: Seconds between polls.
+            interval: Initial seconds between polls.
+            max_interval: Ceiling the growing interval never exceeds.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        delay = max(0.0, interval)
         while True:
             record = self.poll(job_id)
             if record.get("state") in _TERMINAL_STATES:
@@ -288,7 +320,73 @@ class ServiceClient:
                 raise ServiceError(
                     f"timed out after {timeout}s waiting for {job_id} "
                     f"(state={record.get('state')})")
-            time.sleep(interval)
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
+            time.sleep(delay)
+            delay = min(max(delay, 0.001) * 1.6, max_interval)
+
+    def entries_since(self, job_id: str, since: int = 0,
+                      poll_timeout: Optional[float] = None) -> Dict:
+        """``GET /jobs/<id>/entries``: one long-poll for the entry stream.
+
+        Returns the raw payload: ``entries`` past the ``since`` cursor,
+        the job ``state`` (terminal means the slice completes the
+        stream) and ``next``, the cursor to resume from.
+        """
+        suffix = f"/jobs/{job_id}/entries?since={since}"
+        if poll_timeout is not None:
+            suffix += f"&timeout={poll_timeout}"
+        return self._get(suffix)
+
+    def iter_entries(self, job_id: str, since: int = 0,
+                     timeout: Optional[float] = None,
+                     poll_timeout: float = 10.0):
+        """Stream a job's per-entry results as the server finishes them.
+
+        Yields ``(index, record)`` pairs in entry order, long-polling
+        ``GET /jobs/<id>/entries`` under the hood; the generator ends
+        when the job reaches a terminal state, after every published
+        entry has been yielded exactly once.  For a sweep submitted as N
+        jobs, entry ``index`` corresponds to the N-th submitted job, so
+        the first results arrive long before the batch completes.
+
+        Check the job's final state with :meth:`poll` afterwards when it
+        matters: a FAILED or CANCELLED job ends the stream the same way,
+        just with fewer entries than submitted jobs.
+
+        Args:
+            job_id: Ticket from :meth:`submit_async`.
+            since: Entry cursor to start from (0 = first entry).
+            timeout: Overall deadline in seconds; ``ServiceError`` when
+                exceeded.  None streams until the job is terminal.
+            poll_timeout: Seconds each underlying long-poll is allowed
+                to park on the server before returning empty-handed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        cursor = since
+        while True:
+            # Clamp each long-poll to the remaining budget so the
+            # overall timeout cannot overshoot by a poll_timeout.
+            park = poll_timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"timed out after {timeout}s streaming entries "
+                        f"of {job_id} (got {cursor - since} so far)")
+                park = min(poll_timeout, remaining)
+            payload = self.entries_since(job_id, since=cursor,
+                                         poll_timeout=park)
+            records = payload.get("entries")
+            if not isinstance(records, list):
+                raise ServiceError(
+                    f"/jobs/{job_id}/entries returned no entry list: "
+                    f"{payload}")
+            for record in records:
+                yield cursor, record
+                cursor += 1
+            if payload.get("state") in _TERMINAL_STATES:
+                return
 
     def result_of(self, job_id: str, timeout: Optional[float] = None) -> Dict:
         """Wait for a job and unwrap its response payload.
@@ -314,9 +412,24 @@ class ServiceClient:
         """
         return self._post(f"/jobs/{job_id}/cancel", {})
 
-    def jobs(self, state: Optional[str] = None) -> List[Dict]:
-        """``GET /jobs``: job records, optionally filtered by state."""
-        suffix = f"?state={state}" if state else ""
+    def jobs(self, state: Optional[str] = None,
+             limit: Optional[int] = None) -> List[Dict]:
+        """``GET /jobs``: job records, filtered server-side.
+
+        Args:
+            state: Keep only records in this lifecycle state.
+            limit: Keep only the most recently submitted ``limit``
+                records (applied after the state filter).
+        """
+        params = []
+        if state:
+            # Sent as `state=`: both the old filter name and the new
+            # `status=` alias parse on 1.2+ servers, but only `state=`
+            # is understood by pre-1.2 servers in a mixed-version fleet.
+            params.append(f"state={state}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        suffix = f"?{'&'.join(params)}" if params else ""
         response = self._get(f"/jobs{suffix}")
         records = response.get("jobs")
         if not isinstance(records, list):

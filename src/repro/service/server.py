@@ -27,11 +27,17 @@ Endpoints (all JSON):
   ``/compile``/``/sweep`` payload shapes (plus optional ``priority``);
   returns a ticket immediately.  503 + ``BackPressureError`` when the
   queue is full.
-* ``GET  /jobs``              — list job records (``?state=QUEUED``
-  filters).
+* ``GET  /jobs``              — list job records (``?status=QUEUED``
+  filters by lifecycle state — ``state=`` is accepted as an alias — and
+  ``?limit=N`` keeps only the N most recently submitted records).
 * ``GET  /jobs/<id>``         — status; carries the full response
   payload once DONE, the error record once FAILED.  404 for unknown or
   garbage-collected ids.
+* ``GET  /jobs/<id>/entries`` — per-entry result stream: long-polls
+  (``?since=N&timeout=S``) until entries beyond the ``since`` cursor
+  exist or the job is terminal, then returns the slice with the job's
+  state; workers publish each sweep entry as it finishes, so clients
+  consume results long before the whole batch completes.
 * ``POST /jobs/<id>/cancel``  — cancel; only QUEUED jobs cancel (a
   cancelled job never runs), later states are reported back unchanged.
 
@@ -56,7 +62,7 @@ from repro.exceptions import (
 )
 from repro.api.job import CompileJob, MACHINE_KINDS
 from repro.api.session import Session
-from repro.api.sweep import SweepSpec
+from repro.api.sweep import SweepResult, SweepSpec
 from repro.core.compiler import POLICY_PRESETS
 from repro.queue import DONE, FAILED, JobManager, QueuedJob
 from repro.workloads.registry import SCALES, benchmark_names
@@ -67,6 +73,19 @@ DEFAULT_PORT = 8731
 #: Default worker-thread and queue-capacity sizing for the service.
 DEFAULT_WORKERS = 2
 DEFAULT_QUEUE_SIZE = 64
+
+#: Default and ceiling for the ``/jobs/<id>/entries`` long-poll wait, in
+#: seconds.  The ceiling keeps a handler thread from parking forever on
+#: a client-supplied timeout.
+DEFAULT_ENTRY_POLL_SECONDS = 10.0
+MAX_ENTRY_POLL_SECONDS = 30.0
+
+#: Streaming chunk size multiplier for process-parallel sessions: a
+#: :class:`~repro.api.executors.ParallelExecutor` spins up a fresh
+#: process pool per ``run`` call, so sweeps stream in chunks of
+#: ``jobs * PARALLEL_CHUNK_ROUNDS`` to amortize pool startup instead of
+#: paying it once per entry.
+PARALLEL_CHUNK_ROUNDS = 8
 
 
 class CompilationService:
@@ -182,14 +201,13 @@ class CompilationService:
     def _run_job(self, queued: QueuedJob) -> Dict[str, object]:
         """Worker entry point: dispatch one queued payload by kind."""
         if queued.kind == "compile":
-            return self._execute_compile(queued.payload)
+            return self._execute_compile(queued)
         if queued.kind == "sweep":
-            return self._execute_sweep(queued.payload)
+            return self._execute_sweep(queued)
         raise ServiceError(f"unknown job kind {queued.kind!r}")
 
-    def _execute_compile(self, payload: Mapping[str, object]
-                         ) -> Dict[str, object]:
-        job = CompileJob.from_dict(payload["job"])
+    def _execute_compile(self, queued: QueuedJob) -> Dict[str, object]:
+        job = CompileJob.from_dict(queued.payload["job"])
         entry = self.session.run([job], isolate_failures=True)[0]
         with self._counters:
             self.jobs_run += 1
@@ -206,41 +224,68 @@ class CompilationService:
             response["row"] = entry.row()
         else:
             response["error"] = entry.error.to_dict()
+        self.manager.record_entry(queued, self._entry_record(entry))
         return response
 
-    def _execute_sweep(self, payload: Mapping[str, object]
-                       ) -> Dict[str, object]:
+    @staticmethod
+    def _entry_record(entry) -> Dict[str, object]:
+        """Serialize one executed sweep entry to its wire record."""
+        record: Dict[str, object] = {
+            "ok": entry.ok,
+            "fingerprint": entry.job.fingerprint(),
+            "benchmark": entry.job.program_label,
+            "policy": entry.job.policy_label,
+            "machine": entry.job.machine.describe(),
+            "cached": entry.cached,
+            "disk_hit": entry.disk_hit,
+        }
+        if entry.ok:
+            record["result"] = entry.result.to_dict()
+        else:
+            record["error"] = entry.error.to_dict()
+        return record
+
+    def _execute_sweep(self, queued: QueuedJob) -> Dict[str, object]:
+        """Execute a sweep incrementally, streaming per-entry records.
+
+        Jobs run through the session in chunks — one at a time under the
+        default serial executor, ``jobs * PARALLEL_CHUNK_ROUNDS`` under
+        a process-parallel executor (which pays pool startup per ``run``
+        call) — and every finished entry is published on the queued
+        job's entry stream immediately, so ``GET /jobs/<id>/entries``
+        long-pollers see results while later chunks are still
+        compiling.  Session memoization makes the chunked execution
+        equivalent to one batch: in-sweep duplicates still compile
+        once, and cached/disk-hit provenance flags come out identical.
+        """
+        payload = queued.payload
         if "jobs" in payload:
             work = [CompileJob.from_dict(descriptor)
                     for descriptor in payload["jobs"]]
         else:
-            work = SweepSpec.from_dict(payload["spec"])
-        sweep = self.session.run(work, isolate_failures=True)
+            work = SweepSpec.from_dict(payload["spec"]).jobs()
+        width = max(1, getattr(self.session.executor, "jobs", 1))
+        chunk = width if width == 1 else width * PARALLEL_CHUNK_ROUNDS
+        entries = []
+        records: List[Dict[str, object]] = []
+        for start in range(0, len(work), chunk):
+            batch = self.session.run(work[start:start + chunk],
+                                     isolate_failures=True)
+            for entry in batch:
+                entries.append(entry)
+                record = self._entry_record(entry)
+                records.append(record)
+                self.manager.record_entry(queued, record)
+        sweep = SweepResult(entries)
         with self._counters:
             self.jobs_run += len(sweep)
             self.job_failures += len(sweep.failures())
-        entries: List[Dict[str, object]] = []
-        for entry in sweep:
-            record: Dict[str, object] = {
-                "ok": entry.ok,
-                "fingerprint": entry.job.fingerprint(),
-                "benchmark": entry.job.program_label,
-                "policy": entry.job.policy_label,
-                "machine": entry.job.machine.describe(),
-                "cached": entry.cached,
-                "disk_hit": entry.disk_hit,
-            }
-            if entry.ok:
-                record["result"] = entry.result.to_dict()
-            else:
-                record["error"] = entry.error.to_dict()
-            entries.append(record)
         return {
             "ok": sweep.ok,
             "count": len(sweep),
             "cache_hits": sweep.cache_hits,
             "disk_hits": sum(1 for entry in sweep if entry.disk_hit),
-            "entries": entries,
+            "entries": records,
             "rows": sweep.rows(),
         }
 
@@ -303,10 +348,28 @@ class CompilationService:
         self._count_request()
         return self.manager.status(job_id)
 
-    def list_jobs(self, state: Optional[str] = None) -> Dict[str, object]:
-        """``GET /jobs[?state=...]``: compact listing of job records."""
+    def job_entries(self, job_id: str, since: int = 0,
+                    timeout: Optional[float] = None) -> Dict[str, object]:
+        """``GET /jobs/<id>/entries``: long-poll the per-entry stream.
+
+        Blocks up to ``timeout`` seconds (default
+        :data:`DEFAULT_ENTRY_POLL_SECONDS`, capped at
+        :data:`MAX_ENTRY_POLL_SECONDS`) for entries beyond the ``since``
+        cursor; a terminal ``state`` in the response means the returned
+        slice completes the stream.
+        """
         self._count_request()
-        records = self.manager.jobs(state=state)
+        if timeout is None:
+            timeout = DEFAULT_ENTRY_POLL_SECONDS
+        timeout = max(0.0, min(timeout, MAX_ENTRY_POLL_SECONDS))
+        return self.manager.entries_since(job_id, since=since,
+                                          timeout=timeout)
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: Optional[int] = None) -> Dict[str, object]:
+        """``GET /jobs[?status=...&limit=N]``: compact job listing."""
+        self._count_request()
+        records = self.manager.jobs(state=state, limit=limit)
         return {
             "count": len(records),
             "jobs": [{
@@ -383,8 +446,32 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     _KNOWN = ["GET /health", "GET /stats", "GET /registry", "GET /jobs",
-              "GET /jobs/<id>", "POST /compile", "POST /sweep",
-              "POST /jobs", "POST /jobs/<id>/cancel"]
+              "GET /jobs/<id>", "GET /jobs/<id>/entries", "POST /compile",
+              "POST /sweep", "POST /jobs", "POST /jobs/<id>/cancel"]
+
+    @staticmethod
+    def _query_int(params: Dict[str, List[str]], name: str):
+        """Parse an optional integer query parameter (400 on junk)."""
+        raw = params.get(name, [None])[0]
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise ServiceError(
+                f"query parameter {name}={raw!r} is not an integer")
+
+    @staticmethod
+    def _query_float(params: Dict[str, List[str]], name: str):
+        """Parse an optional float query parameter (400 on junk)."""
+        raw = params.get(name, [None])[0]
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise ServiceError(
+                f"query parameter {name}={raw!r} is not a number")
 
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
@@ -431,10 +518,20 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                 return service.registry
             if path == "/jobs":
                 params = urllib.parse.parse_qs(query)
-                state = params.get("state", [None])[0]
-                return lambda: service.list_jobs(state=state)
+                # ``status`` is the documented filter name; ``state`` is
+                # kept as an alias for older clients.
+                state = params.get("status", params.get("state", [None]))[0]
+                return lambda: service.list_jobs(
+                    state=state, limit=self._query_int(params, "limit"))
             if len(parts) == 2 and parts[0] == "jobs":
                 return lambda: service.job_status(parts[1])
+            if len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "entries":
+                params = urllib.parse.parse_qs(query)
+                return lambda: service.job_entries(
+                    parts[1],
+                    since=self._query_int(params, "since") or 0,
+                    timeout=self._query_float(params, "timeout"))
         else:
             if path == "/compile":
                 return lambda: service.compile(self._read_payload())

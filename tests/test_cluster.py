@@ -1,0 +1,678 @@
+"""Tests for repro.cluster and the streaming per-entry pipeline.
+
+Covers three layers:
+
+* the queue/server/client streaming surface (`QueuedJob.entries_since`,
+  `GET /jobs/<id>/entries`, `ServiceClient.iter_entries`) — including
+  the cursor invariant: never skip, never duplicate;
+* the cluster building blocks (sharding determinism and stability,
+  topology probing) plus the coordinator's failure paths, driven
+  through deterministic fake worker clients (worker killed mid-sweep
+  re-dispatches, back-pressured worker sheds to siblings, exhaustion
+  raises `ClusterError`);
+* real-HTTP integration: a sweep sharded across two live servers
+  exports byte-identical JSON/CSV to a serial single-session run, also
+  after one server is killed mid-sweep, and warm reruns stay on the
+  same workers' caches.
+"""
+
+import itertools
+import json
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    BackPressureError,
+    ClusterError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.api import CompileJob, MachineSpec, Session, SweepSpec
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterTopology,
+    WorkerEndpoint,
+    assign_endpoint,
+    shard_jobs,
+)
+from repro.queue import DONE, JobManager, QueuedJob
+from repro.service import DiskCache, ServiceClient, make_server
+from repro.service.server import CompilationService
+
+GRID = MachineSpec.nisq_grid(5, 5)
+SPEC = (SweepSpec()
+        .with_benchmarks("RD53", "ADDER4", "6SYM", "2OF5")
+        .with_machines(GRID)
+        .with_policies("lazy", "square")
+        .with_scales("quick"))
+
+#: Fixed fake-worker URLs: the rendezvous hash over (fingerprint, url)
+#: is salt-free, so the SPEC x URLS shard layout is a constant of the
+#: test suite — both workers always draw several jobs (asserted below).
+URLS = ("http://worker-a:1", "http://worker-b:2")
+
+
+def spec_pairs(spec=SPEC):
+    """The (fingerprint, job) pairs of a spec, in sweep order."""
+    jobs = spec.jobs()
+    return [(job.fingerprint(), job) for job in jobs]
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_assignment_is_deterministic(self):
+        pairs = spec_pairs()
+        first = {fp: assign_endpoint(fp, URLS) for fp, _ in pairs}
+        second = {fp: assign_endpoint(fp, URLS) for fp, _ in pairs}
+        assert first == second
+
+    def test_shards_cover_every_job_exactly_once(self):
+        pairs = spec_pairs()
+        shards = shard_jobs(pairs, URLS)
+        fingerprints = [fp for shard in shards.values() for fp, _ in shard]
+        assert sorted(fingerprints) == sorted(fp for fp, _ in pairs)
+
+    def test_both_workers_draw_jobs_from_the_suite_spec(self):
+        # The fixed URLS are chosen so the failure-path tests below can
+        # rely on both workers owning part of the sweep.
+        shards = shard_jobs(spec_pairs(), URLS)
+        assert len(shards) == 2
+        assert all(len(shard) >= 2 for shard in shards.values())
+
+    def test_removing_an_endpoint_only_moves_its_jobs(self):
+        pairs = spec_pairs()
+        before = {fp: assign_endpoint(fp, URLS) for fp, _ in pairs}
+        survivors = (URLS[0],)
+        after = {fp: assign_endpoint(fp, survivors) for fp, _ in pairs}
+        for fp, endpoint in before.items():
+            if endpoint == URLS[0]:
+                assert after[fp] == URLS[0]  # survivor's jobs stay put
+
+    def test_shard_preserves_input_order(self):
+        pairs = spec_pairs()
+        shards = shard_jobs(pairs, URLS)
+        order = {fp: index for index, (fp, _) in enumerate(pairs)}
+        for shard in shards.values():
+            indices = [order[fp] for fp, _ in shard]
+            assert indices == sorted(indices)
+
+    def test_no_endpoints_raises(self):
+        with pytest.raises(ClusterError):
+            assign_endpoint("abc", ())
+
+
+# ----------------------------------------------------------------------
+# QueuedJob / JobManager streaming primitives
+# ----------------------------------------------------------------------
+class TestEntryStream:
+    def test_add_entry_then_slice(self):
+        job = QueuedJob("job-1", "sweep", {})
+        job.add_entry({"n": 0})
+        job.add_entry({"n": 1})
+        state, entries, total = job.entries_since(0, timeout=0)
+        assert state == "QUEUED" and total == 2
+        assert [e["n"] for e in entries] == [0, 1]
+        state, entries, total = job.entries_since(1, timeout=0)
+        assert [e["n"] for e in entries] == [1]
+
+    def test_negative_cursor_rejected(self):
+        job = QueuedJob("job-1", "sweep", {})
+        with pytest.raises(ServiceError):
+            job.entries_since(-1)
+
+    def test_long_poll_wakes_on_new_entry(self):
+        job = QueuedJob("job-1", "sweep", {})
+        threading.Timer(0.05, lambda: job.add_entry({"n": 0})).start()
+        started = time.monotonic()
+        state, entries, _ = job.entries_since(0, timeout=5)
+        assert [e["n"] for e in entries] == [0]
+        assert time.monotonic() - started < 4, "must wake early"
+
+    def test_long_poll_wakes_on_terminal_transition(self):
+        manager = JobManager(lambda job: {"ok": True}, workers=1)
+        try:
+            ticket = manager.submit("compile", {"job": {}})
+            manager.wait(ticket.job_id, timeout=10)
+            payload = manager.entries_since(ticket.job_id, since=5,
+                                            timeout=5)
+            # Cursor beyond the stream: terminal state ends the poll
+            # with an empty slice instead of blocking out the timeout.
+            assert payload["state"] == DONE and payload["entries"] == []
+        finally:
+            manager.close()
+
+    def test_cursor_never_skips_or_duplicates_under_concurrency(self):
+        job = QueuedJob("job-1", "sweep", {})
+        produced = 40
+
+        def producer():
+            for n in range(produced):
+                job.add_entry({"n": n})
+                if n % 7 == 0:
+                    time.sleep(0.002)
+            job.transition("RUNNING")
+            job.transition("DONE")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        seen = []
+        cursor = 0
+        while True:
+            state, entries, _ = job.entries_since(cursor, timeout=5)
+            seen.extend(e["n"] for e in entries)
+            cursor += len(entries)
+            if state == DONE and not entries:
+                break
+        thread.join()
+        assert seen == list(range(produced))
+
+    def test_manager_jobs_limit_filter(self):
+        manager = JobManager(lambda job: {"ok": True}, workers=1)
+        try:
+            tickets = [manager.submit("compile", {"job": {}})
+                       for _ in range(5)]
+            for ticket in tickets:
+                manager.wait(ticket.job_id, timeout=10)
+            newest = manager.jobs(limit=2)
+            assert [job.job_id for job in newest] == \
+                   [tickets[-2].job_id, tickets[-1].job_id]
+            assert manager.jobs(limit=0) == []
+            assert len(manager.jobs(state=DONE, limit=3)) == 3
+            with pytest.raises(ServiceError):
+                manager.jobs(limit=-1)
+        finally:
+            manager.close()
+
+
+# ----------------------------------------------------------------------
+# Streaming + filters over real HTTP
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="class")
+def live_server():
+    server = make_server("127.0.0.1", 0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestStreamingHTTP:
+    def test_iter_entries_streams_every_entry_once_in_order(
+            self, live_server):
+        client = live_server
+        ticket = client.submit_async(SPEC)
+        indices, records = [], []
+        for index, record in client.iter_entries(ticket):
+            indices.append(index)
+            records.append(record)
+        assert indices == list(range(len(SPEC)))
+        jobs = SPEC.jobs()
+        assert [r["benchmark"] for r in records] == \
+               [job.program_label for job in jobs]
+        assert all(r["ok"] for r in records)
+
+    def test_cursor_resume_matches_full_stream(self, live_server):
+        client = live_server
+        ticket = client.submit_async(SPEC)
+        client.wait_for(ticket, timeout=120)
+        full = client.entries_since(ticket, since=0)
+        assert full["state"] == "DONE" and full["next"] == len(SPEC)
+        resumed = client.entries_since(ticket, since=3)
+        assert resumed["entries"] == full["entries"][3:]
+        assert resumed["next"] == full["total"] == len(SPEC)
+
+    def test_entry_count_in_status_record(self, live_server):
+        client = live_server
+        ticket = client.submit_async(SPEC)
+        record = client.wait_for(ticket, timeout=120)
+        assert record["entry_count"] == len(SPEC)
+
+    def test_bad_cursor_and_unknown_job(self, live_server):
+        client = live_server
+        ticket = client.submit_async(SPEC)
+        client.wait_for(ticket, timeout=120)
+        with pytest.raises(ServiceError):
+            client.entries_since(ticket, since=-2)
+        with pytest.raises(UnknownJobError):
+            client.entries_since("job-999999")
+        with pytest.raises(ServiceError):
+            client._get(f"/jobs/{ticket}/entries?since=junk")
+
+    def test_jobs_listing_limit_and_status_filters(self, live_server):
+        client = live_server
+        ticket = client.submit_async(SPEC)
+        client.wait_for(ticket, timeout=120)
+        everything = client.jobs()
+        assert len(everything) >= 2
+        limited = client.jobs(limit=1)
+        assert len(limited) == 1
+        assert limited[0]["job_id"] == everything[-1]["job_id"]
+        done = client.jobs(state="DONE", limit=2)
+        assert all(record["state"] == "DONE" for record in done)
+        # `state=` stays accepted as an alias for `status=`.
+        via_alias = client._get("/jobs?state=DONE")
+        assert via_alias["count"] == len(client.jobs(state="DONE"))
+        with pytest.raises(ServiceError):
+            client.jobs(limit=-1)
+        with pytest.raises(ServiceError):
+            client._get("/jobs?limit=three")
+
+
+class TestWaitForBackoff:
+    def test_interval_grows_to_cap(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:9")
+        states = iter(["QUEUED"] * 6 + ["DONE"])
+        monkeypatch.setattr(client, "poll",
+                            lambda job_id: {"state": next(states)})
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            sleeps.append)
+        record = client.wait_for("job-1", interval=0.05, max_interval=0.4)
+        assert record["state"] == "DONE"
+        assert len(sleeps) == 6
+        assert sleeps[0] == pytest.approx(0.05)
+        assert all(b >= a for a, b in zip(sleeps, sleeps[1:]))
+        assert sleeps[-1] == pytest.approx(0.4)
+
+    def test_timeout_still_raises(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:9")
+        monkeypatch.setattr(client, "poll",
+                            lambda job_id: {"state": "RUNNING"})
+        monkeypatch.setattr("repro.service.client.time.sleep",
+                            lambda delay: None)
+        with pytest.raises(ServiceError, match="timed out"):
+            client.wait_for("job-1", timeout=0.05, interval=0.01)
+
+    def test_iter_entries_clamps_long_poll_to_remaining_budget(
+            self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:9")
+        parks = []
+
+        def stuck(job_id, since=0, poll_timeout=None):
+            parks.append(poll_timeout)
+            return {"state": "QUEUED", "entries": [],
+                    "since": since, "next": since}
+
+        monkeypatch.setattr(client, "entries_since", stuck)
+        with pytest.raises(ServiceError, match="timed out"):
+            list(client.iter_entries("job-1", timeout=0.05,
+                                     poll_timeout=10.0))
+        # Every long-poll was clamped to the remaining overall budget —
+        # a 0.05s timeout must never park a request for 10s.
+        assert parks and max(parks) <= 0.05
+
+
+# ----------------------------------------------------------------------
+# DiskCache orphan GC
+# ----------------------------------------------------------------------
+class TestGcOrphans:
+    @staticmethod
+    def warm(cache):
+        session = Session(disk_cache=cache)
+        session.compile("RD53", machine=GRID, policy="lazy")
+        return cache.fingerprints()[0]
+
+    def test_removes_tmp_corrupt_and_uncommitted(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        committed = self.warm(cache)
+        results = tmp_path / "results"
+        payload = json.loads((results / f"{committed}.json").read_text())
+        payload["fingerprint"] = "f" * 64
+        (results / ("f" * 64 + ".json")).write_text(json.dumps(payload))
+        (results / "x.json.123.tmp").write_text("partial write")
+        (results / ("a" * 64 + ".json")).write_text("{corrupt")
+        mislabelled = dict(payload, fingerprint="nope")
+        (results / ("b" * 64 + ".json")).write_text(json.dumps(mislabelled))
+
+        # Freshly written files are protected by the age threshold: a
+        # sibling writer mid-``os.replace`` must never lose its temp
+        # file (nor a just-written payload awaiting its index flush).
+        assert cache.gc_orphans() == 0
+        assert cache.gc_orphans(min_age_seconds=0) == 4
+        assert cache.fingerprints() == [committed]
+        assert cache.stats()["orphans_removed"] == 4
+        assert cache.get(committed) is not None
+        # Idempotent, and a reload sees a clean directory.
+        assert cache.gc_orphans(min_age_seconds=0) == 0
+        assert DiskCache(tmp_path).gc_orphans(min_age_seconds=0) == 0
+
+    def test_preserves_entries_committed_by_other_writers(self, tmp_path):
+        ours = DiskCache(tmp_path)
+        self.warm(ours)
+        # A sibling server sharing the directory commits its own entry
+        # after our index view was loaded.
+        theirs = DiskCache(tmp_path)
+        session = Session(disk_cache=theirs)
+        session.compile("ADDER4", machine=GRID, policy="square")
+        theirs.flush_index()
+        assert len(ours) == 2
+        # Our GC merges the sibling's committed index before sweeping,
+        # so its entry survives even with the age threshold disabled.
+        assert ours.gc_orphans(min_age_seconds=0) == 0
+        assert len(ours) == 2
+
+
+# ----------------------------------------------------------------------
+# Deterministic fake workers for coordinator failure paths
+# ----------------------------------------------------------------------
+class FakeWorkerClient:
+    """Stands in for ServiceClient against an in-memory 'server'.
+
+    Implements exactly the surface the coordinator uses (health,
+    submit_async, iter_entries, poll) with deterministic failure knobs:
+    ``reject_submits`` answers the next N submissions with 503
+    back-pressure; ``die_after`` kills the worker (transport-wise) once
+    it has delivered that many entries.
+    """
+
+    def __init__(self, url, *, reject_submits=0, die_after=None):
+        self.url = url
+        self.session = Session(isolate_failures=True)
+        self.reject_submits = reject_submits
+        self.die_after = die_after
+        self.dead = False
+        self.delivered = 0
+        self.submissions = 0
+        self._jobs = {}
+        self._done = set()
+        self._ids = itertools.count(1)
+
+    def _check_alive(self):
+        if self.dead:
+            raise ServiceError(f"cannot reach {self.url}: connection refused")
+
+    def health(self):
+        self._check_alive()
+        return {"status": "ok"}
+
+    def submit_async(self, payload):
+        self._check_alive()
+        self.submissions += 1
+        if self.reject_submits > 0:
+            self.reject_submits -= 1
+            raise BackPressureError("queue full", depth=1, capacity=1)
+        job_id = f"{self.url}/job-{next(self._ids)}"
+        self._jobs[job_id] = [CompileJob.from_dict(descriptor)
+                              for descriptor in payload["jobs"]]
+        return job_id
+
+    def iter_entries(self, job_id, since=0, timeout=None, poll_timeout=10.0):
+        for index, job in enumerate(self._jobs[job_id][since:], start=since):
+            self._check_alive()
+            if self.die_after is not None and self.delivered >= self.die_after:
+                self.dead = True
+                raise ServiceError(f"{self.url} reset mid-stream")
+            entry = self.session.run([job])[0]
+            self.delivered += 1
+            yield index, CompilationService._entry_record(entry)
+        self._done.add(job_id)
+
+    def poll(self, job_id):
+        self._check_alive()
+        return {"state": "DONE" if job_id in self._done else "RUNNING"}
+
+
+class TestCoordinatorFailurePaths:
+    @staticmethod
+    def coordinator(fakes, **kwargs):
+        registry = {fake.url: fake for fake in fakes}
+        kwargs.setdefault("retry_delay", 0.01)
+        return ClusterCoordinator(
+            list(registry), client_factory=registry.__getitem__, **kwargs)
+
+    def test_clean_two_worker_sweep_matches_serial(self):
+        serial = Session().run(SPEC, isolate_failures=True)
+        fakes = [FakeWorkerClient(url) for url in URLS]
+        coordinator = self.coordinator(fakes)
+        arrivals = []
+        sweep = coordinator.run(SPEC, on_entry=lambda i, e:
+                                arrivals.append(i))
+        assert sweep.to_json() == serial.to_json()
+        assert sweep.to_csv() == serial.to_csv()
+        assert sorted(arrivals) == list(range(len(SPEC)))
+        # Both workers compiled their own shard — a genuine split.
+        assert all(fake.delivered >= 2 for fake in fakes)
+        assert coordinator.stats()["rounds_run"] == 1
+
+    def test_worker_killed_mid_sweep_redispatches_unfinished(self):
+        serial = Session().run(SPEC, isolate_failures=True)
+        shards = shard_jobs(spec_pairs(), URLS)
+        victim_shard = len(shards[URLS[1]])
+        assert victim_shard >= 2, "suite spec must give the victim >1 job"
+        fakes = [FakeWorkerClient(URLS[0]),
+                 FakeWorkerClient(URLS[1], die_after=1)]
+        coordinator = self.coordinator(fakes)
+        sweep = coordinator.run(SPEC)
+        assert sweep.to_json() == serial.to_json()
+        assert sweep.to_csv() == serial.to_csv()
+        stats = coordinator.stats()
+        assert stats["redispatched_jobs"] == victim_shard - 1
+        assert stats["rounds_run"] == 2
+        # The survivor picked up the dead worker's unfinished jobs.
+        assert fakes[0].delivered == len(shards[URLS[0]]) + victim_shard - 1
+        dead = [s for s in stats["topology"]["endpoints"]
+                if s["url"] == URLS[1]][0]
+        assert not dead["alive"] and "mid-stream" in dead["last_error"]
+
+    def test_back_pressured_worker_sheds_load_to_sibling(self):
+        serial = Session().run(SPEC, isolate_failures=True)
+        shards = shard_jobs(spec_pairs(), URLS)
+        fakes = [FakeWorkerClient(URLS[0]),
+                 FakeWorkerClient(URLS[1], reject_submits=1)]
+        coordinator = self.coordinator(fakes)
+        sweep = coordinator.run(SPEC)
+        assert sweep.to_json() == serial.to_json()
+        stats = coordinator.stats()
+        assert stats["shed_jobs"] == len(shards[URLS[1]])
+        assert stats["rounds_run"] == 2
+        # The saturated worker ran nothing; the sibling absorbed it all,
+        # and the worker is still considered alive for future sweeps.
+        assert fakes[1].delivered == 0
+        assert fakes[0].delivered == len(SPEC.jobs())
+        assert stats["topology"]["alive"] == 2
+
+    def test_every_worker_dead_raises_cluster_error(self):
+        fakes = [FakeWorkerClient(url, die_after=0) for url in URLS]
+        coordinator = self.coordinator(fakes)
+        with pytest.raises(ClusterError, match="no live worker"):
+            coordinator.run(SPEC)
+
+    def test_round_budget_exhaustion_raises_cluster_error(self):
+        fakes = [FakeWorkerClient(URLS[0], reject_submits=99)]
+        coordinator = self.coordinator(fakes, max_rounds=3)
+        with pytest.raises(ClusterError, match="3 dispatch round"):
+            coordinator.run(SPEC)
+
+    def test_deterministic_400_rejection_does_not_mark_worker_dead(self):
+        class Rejecting(FakeWorkerClient):
+            def submit_async(self, payload):
+                error = ServiceError("/jobs failed with HTTP 400: "
+                                     "unknown benchmark 'CUSTOM'")
+                error.http_status = 400
+                raise error
+
+        fakes = [Rejecting(URLS[0])]
+        coordinator = self.coordinator(fakes)
+        with pytest.raises(ClusterError, match="rejected the shard"):
+            coordinator.run(SPEC)
+        # The worker answered; it is not dead, and no healing round was
+        # burned pretending it was.
+        assert coordinator.stats()["topology"]["alive"] == 1
+
+    def test_duplicate_jobs_compile_once_and_merge_as_cache_hits(self):
+        job = CompileJob.for_benchmark("RD53", GRID, "square")
+        fakes = [FakeWorkerClient(url) for url in URLS]
+        coordinator = self.coordinator(fakes)
+        sweep = coordinator.run([job, job, job])
+        assert len(sweep) == 3
+        assert sum(fake.delivered for fake in fakes) == 1
+        assert [entry.cached for entry in sweep] == [False, True, True]
+        # Identical to what one serial session reports for the batch.
+        serial = Session().run([job, job, job], isolate_failures=True)
+        assert [e.cached for e in serial] == [e.cached for e in sweep]
+        assert sweep.to_json() == serial.to_json()
+
+    def test_job_failures_are_entries_not_cluster_errors(self):
+        impossible = CompileJob.for_benchmark("RD53", MachineSpec.nisq(2),
+                                              "square")
+        good = CompileJob.for_benchmark("RD53", GRID, "square")
+        fakes = [FakeWorkerClient(url) for url in URLS]
+        sweep = self.coordinator(fakes).run([good, impossible])
+        assert [entry.ok for entry in sweep] == [True, False]
+        serial = Session().run([good, impossible], isolate_failures=True)
+        assert sweep.to_json() == serial.to_json()
+
+    def test_empty_work_returns_empty_result(self):
+        fakes = [FakeWorkerClient(URLS[0])]
+        assert len(self.coordinator(fakes).run([])) == 0
+
+    def test_on_entry_exception_propagates_to_caller(self):
+        # A bug in the caller's callback is not worker death: it must
+        # surface as itself, not burn healing rounds and end in a
+        # misleading ClusterError about unfinished jobs.
+        fakes = [FakeWorkerClient(url) for url in URLS]
+        coordinator = self.coordinator(fakes)
+        def broken(index, entry):
+            raise KeyError("typo in callback")
+        with pytest.raises(KeyError, match="typo in callback"):
+            coordinator.run(SPEC, on_entry=broken)
+        assert coordinator.stats()["topology"]["alive"] == 2
+
+    def test_on_entry_reports_first_index_of_duplicates(self):
+        job = CompileJob.for_benchmark("RD53", GRID, "square")
+        other = CompileJob.for_benchmark("ADDER4", GRID, "square")
+        fakes = [FakeWorkerClient(url) for url in URLS]
+        arrivals = []
+        self.coordinator(fakes).run(
+            [job, job, other], on_entry=lambda i, e:
+            arrivals.append((i, e.job.program_label)))
+        assert sorted(arrivals) == [(0, "RD53"), (2, "ADDER4")]
+
+
+class TestTopology:
+    def test_urls_normalize_and_dedup(self):
+        fake = FakeWorkerClient("http://worker-a:1")
+        topology = ClusterTopology(
+            ["http://worker-a:1/", "http://worker-a:1"],
+            client_factory=lambda url: fake)
+        assert len(topology) == 1
+        assert topology.get("http://worker-a:1/").client is fake
+
+    def test_probe_marks_dead_and_revives(self):
+        fake = FakeWorkerClient(URLS[0])
+        topology = ClusterTopology([URLS[0]],
+                                   client_factory=lambda url: fake)
+        assert [e.url for e in topology.probe_all()] == [URLS[0]]
+        fake.dead = True
+        assert topology.probe_all() == []
+        assert not topology.get(URLS[0]).alive
+        fake.dead = False
+        assert len(topology.probe_all()) == 1, "recovered workers rejoin"
+
+    def test_needs_at_least_one_endpoint(self):
+        with pytest.raises(ClusterError):
+            ClusterTopology([])
+
+    def test_unknown_endpoint_lookup(self):
+        topology = ClusterTopology([URLS[0]],
+                                   client_factory=FakeWorkerClient)
+        with pytest.raises(ClusterError):
+            topology.get("http://nowhere:1")
+
+
+# ----------------------------------------------------------------------
+# Real-HTTP integration: two live servers
+# ----------------------------------------------------------------------
+def start_cluster(count, tmp_path=None):
+    servers, urls = [], []
+    for index in range(count):
+        cache_dir = str(tmp_path / f"cache-{index}") if tmp_path else None
+        server = make_server("127.0.0.1", 0, workers=1,
+                             cache_dir=cache_dir)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        urls.append("http://%s:%s" % server.server_address[:2])
+    return servers, urls
+
+
+def stop(server):
+    server.shutdown()
+    server.server_close()
+
+
+class TestClusterHTTPIntegration:
+    def test_two_server_sweep_is_byte_identical_and_warm_on_rerun(
+            self, tmp_path):
+        serial = Session().run(SPEC, isolate_failures=True)
+        servers, urls = start_cluster(2, tmp_path)
+        try:
+            coordinator = ClusterCoordinator(urls)
+            cold = coordinator.run(SPEC)
+            assert cold.to_json() == serial.to_json()
+            assert cold.to_csv() == serial.to_csv()
+            # Same sweep again: fingerprint affinity keeps every job on
+            # the server that already cached it.
+            warm = ClusterCoordinator(urls).run(SPEC)
+            assert all(entry.cached for entry in warm)
+            assert warm.to_json() == serial.to_json()
+        finally:
+            for server in servers:
+                stop(server)
+
+    def test_completes_after_one_server_killed_mid_sweep(self, tmp_path):
+        spec = SPEC.with_policies("eager", "square-laa")
+        serial = Session().run(spec, isolate_failures=True)
+        servers, urls = start_cluster(2, tmp_path)
+        killed = []
+
+        def kill_second_server(index, entry):
+            if not killed:
+                killed.append(True)
+                threading.Thread(target=stop, args=(servers[1],),
+                                 daemon=True).start()
+
+        try:
+            coordinator = ClusterCoordinator(urls, retry_delay=0.05)
+            sweep = coordinator.run(spec, on_entry=kill_second_server)
+            assert sweep.to_json() == serial.to_json()
+            assert sweep.to_csv() == serial.to_csv()
+        finally:
+            stop(servers[0])
+
+    def test_cli_cluster_sweep_matches_serial_cli_sweep(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        servers, urls = start_cluster(2)
+        cluster_path = tmp_path / "cluster.json"
+        serial_path = tmp_path / "serial.json"
+        common = ["RD53", "ADDER4", "--policies", "lazy", "square",
+                  "--grid", "5", "5", "--scale", "quick"]
+        try:
+            assert main(["cluster-sweep", *common,
+                         "--endpoint", urls[0], "--endpoint", urls[1],
+                         "--export", str(cluster_path)]) == 0
+        finally:
+            for server in servers:
+                stop(server)
+        assert main(["sweep", *common, "--export", str(serial_path)]) == 0
+        assert cluster_path.read_bytes() == serial_path.read_bytes()
+
+    def test_cli_validation(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["cluster-sweep", "RD53"])  # no endpoints
+        with pytest.raises(SystemExit):
+            main(["sweep", "RD53", "--endpoint", "http://x:1"])
+        with pytest.raises(SystemExit):
+            main(["cluster-sweep", "RD53", "--endpoint", "http://x:1",
+                  "--jobs", "4"])

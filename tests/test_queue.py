@@ -56,6 +56,25 @@ def wait_until(predicate, timeout=5.0, interval=0.005):
     pytest.fail("condition not reached within timeout")
 
 
+def slow_down_sweeps(service, seconds):
+    """Make the service's sweep jobs take at least ``seconds`` to run.
+
+    Wraps the manager's runner (the reference its workers actually
+    call), keyed on the job kind — sweeps execute incrementally through
+    the session now, so slowing ``session.run`` batches would no longer
+    catch them.
+    """
+    original = service.manager._runner
+
+    def slow_runner(job):
+        if job.kind == "sweep":
+            time.sleep(seconds)
+        return original(job)
+
+    service.manager._runner = slow_runner
+    return service
+
+
 # ----------------------------------------------------------------------
 # QueuedJob lifecycle
 # ----------------------------------------------------------------------
@@ -639,19 +658,11 @@ class TestAsyncHTTP:
 
 @pytest.fixture()
 def saturated_service(tmp_path):
-    """workers=1, queue_size=1 server whose batches are slowed, so the
+    """workers=1, queue_size=1 server whose sweeps are slowed, so the
     worker is deterministically busy while tests probe the queue."""
     session = Session(cache_dir=tmp_path)
-    original_run = session.run
-
-    def slow_run(work, **kwargs):
-        jobs = work.jobs() if isinstance(work, SweepSpec) else list(work)
-        if len(jobs) > 1:  # only sweeps are slowed
-            time.sleep(0.8)
-        return original_run(jobs, **kwargs)
-
-    session.run = slow_run
-    service = CompilationService(session=session, workers=1, queue_size=1)
+    service = slow_down_sweeps(
+        CompilationService(session=session, workers=1, queue_size=1), 0.8)
     server = make_server("127.0.0.1", 0, service=service)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -713,18 +724,9 @@ class TestConcurrentCompileNotSerialized:
         /compile requests land on the other — the acceptance criterion
         that PR 2's single lock could not meet."""
         session = Session(cache_dir=tmp_path)
-        original_run = session.run
-
-        def slow_run(work, **kwargs):
-            jobs = work.jobs() if isinstance(work, SweepSpec) \
-                else list(work)
-            if len(jobs) > 1:
-                time.sleep(1.5)
-            return original_run(jobs, **kwargs)
-
-        session.run = slow_run
-        service = CompilationService(session=session, workers=2,
-                                     queue_size=8)
+        service = slow_down_sweeps(
+            CompilationService(session=session, workers=2, queue_size=8),
+            1.5)
         server = make_server("127.0.0.1", 0, service=service)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()

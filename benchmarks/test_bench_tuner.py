@@ -1,0 +1,85 @@
+"""Benchmark: tuning-trial throughput through the tuner machinery.
+
+Establishes the tuner-layer performance trajectory: how many trials per
+second the strategy → job-expansion → backend → scoring → journal
+pipeline sustains, separated into
+
+* **warm-session trials** — a grid search whose session memo is already
+  warm, so the measurement is the per-trial tuner overhead (fingerprint
+  computation, dedup, journaling, scoring) rather than compilation, and
+* **journal resume** — re-running a fully journaled search, i.e. the
+  restore path a killed run takes: every trial must come back from the
+  JSONL journal with zero compilations.
+
+Both assert a generous throughput floor so a catastrophic regression
+(e.g. re-fingerprinting per candidate pair going quadratic, or journal
+writes fsync-ing per byte) fails loudly rather than drifting in the
+timings.
+"""
+
+from __future__ import annotations
+
+from repro.api import MachineSpec, Session
+from repro.tuner import GridSearch, SearchSpace, TuningRun
+
+from benchmarks.conftest import run_once
+
+GRID = MachineSpec.nisq_grid(5, 5)
+
+#: Repeats of the search per measurement, to push trial counts up.
+ROUNDS = 20
+
+
+def tuning_run(session, journal_path=None) -> TuningRun:
+    """One grid search over the full policy space on one benchmark."""
+    run = TuningRun(SearchSpace.policy_space(), "aqv",
+                    GridSearch(scale="quick"), ["RD53"],
+                    machine=GRID, backend=session,
+                    journal_path=journal_path)
+    run.run()
+    return run
+
+
+def repeat_tuning(session, rounds: int) -> int:
+    """Re-run the search ``rounds`` times against one warm session."""
+    trials = 0
+    for _ in range(rounds):
+        trials += tuning_run(session).trials_total
+    return trials
+
+
+def test_bench_warm_trial_throughput(benchmark):
+    """Per-trial tuner overhead with every compilation memoized."""
+    session = Session()
+    tuning_run(session)  # warm the memo with every candidate
+    trials = run_once(benchmark, repeat_tuning, session, ROUNDS)
+    trials_per_second = trials / benchmark.stats.stats.mean
+    benchmark.extra_info["trials_per_second"] = round(trials_per_second, 1)
+    # Catastrophe floor only (orders of magnitude below observed):
+    # this runs in the default pytest collection, so it must never
+    # flake on a throttled CI machine.
+    assert trials_per_second > 50
+
+
+def resume_many(journal_paths) -> int:
+    """Resume one fully-journaled run per path; returns trials restored."""
+    restored = 0
+    for path in journal_paths:
+        run = tuning_run(Session(), journal_path=path)
+        assert run.trials_executed == 0, \
+            "a complete journal must leave nothing to compile"
+        restored += run.journal_restored
+    return restored
+
+
+def test_bench_journal_resume_throughput(benchmark, tmp_path):
+    """Restoring a killed run from its journal: no compiles, fast."""
+    paths = [tmp_path / f"tune-{index}.jsonl" for index in range(ROUNDS)]
+    seed_session = Session()
+    for path in paths:  # journal every trial once
+        tuning_run(seed_session, journal_path=path)
+    restored = run_once(benchmark, resume_many, paths)
+    assert restored > 0
+    trials_per_second = restored / benchmark.stats.stats.mean
+    benchmark.extra_info["trials_per_second"] = round(trials_per_second, 1)
+    assert trials_per_second > 20  # catastrophe floor, as above

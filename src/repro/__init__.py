@@ -34,6 +34,11 @@ session-shaped :class:`~repro.service.ServiceClient` on the other end.
 Past one *machine*, :mod:`repro.cluster` shards a sweep across a fleet
 of servers by fingerprint hash and streams per-entry results back as
 workers finish them (``python -m repro.experiments cluster-sweep``).
+And because the paper's central finding is that the best policy is
+workload-dependent, :mod:`repro.tuner` searches the policy/config
+space automatically — racing strategies, Pareto objectives, resumable
+trial journals — through any of those backends
+(``python -m repro.experiments tune``).
 
 Policies and benchmarks are open registries — see
 :func:`repro.core.policies.register_allocation_policy`,

@@ -45,6 +45,7 @@ from repro.cluster.sharding import (
     assign_endpoint,
     shard_counts,
     shard_jobs,
+    shard_score,
     shard_weight,
 )
 from repro.cluster.streaming import (
@@ -69,5 +70,6 @@ __all__ = [
     "cluster_sweep",
     "shard_counts",
     "shard_jobs",
+    "shard_score",
     "shard_weight",
 ]

@@ -9,7 +9,9 @@ executes it across a fleet of compile servers:
    sharing a fingerprint compile once cluster-wide.
 2. **Shard**: unique jobs partition across live endpoints by rendezvous
    fingerprint hashing (:mod:`repro.cluster.sharding`), so repeated
-   sweeps land on the same servers' warm disk caches.
+   sweeps land on the same servers' warm disk caches; endpoint
+   ``weight=`` factors in, so a heterogeneous fleet shards
+   proportionally to capacity.
 3. **Submit + stream**: each shard goes up as one async ``POST /jobs``
    sweep; a :class:`~repro.cluster.streaming.ShardConsumer` thread per
    shard long-polls ``GET /jobs/<id>/entries``, handing every entry to
@@ -17,7 +19,12 @@ executes it across a fleet of compile servers:
    results arrive while most of the batch is still compiling.
 4. **Heal**: a worker that dies mid-stream (transport failure) or
    rejects its shard with 503 back-pressure has its unfinished jobs
-   re-dispatched to the surviving endpoints on the next round;
+   re-dispatched to the surviving endpoints on the next round.  A
+   worker whose shard job *fails server-side* (FAILED/CANCELLED with
+   entries missing) keeps its delivered entries, but the remainder is
+   retried on an **alternate** worker — the failing endpoint is
+   excluded from the next dispatch round, so a server with a sick
+   queue cannot eat the same jobs round after round.
    :class:`~repro.exceptions.ClusterError` is raised only when no live
    workers remain or the round budget runs out.
 5. **Merge deterministically**: results key by fingerprint and the final
@@ -47,7 +54,13 @@ from repro.exceptions import (
 from repro.api.job import CompileJob
 from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.cluster.sharding import shard_jobs
-from repro.cluster.streaming import COMPLETED, CRASHED, DIED, ShardConsumer
+from repro.cluster.streaming import (
+    COMPLETED,
+    CRASHED,
+    DIED,
+    UNFINISHED,
+    ShardConsumer,
+)
 from repro.cluster.topology import ClusterTopology, WorkerEndpoint
 from repro.core.result import CompilationResult, JobFailure
 
@@ -89,6 +102,7 @@ class ClusterCoordinator:
         self.rounds_run = 0
         self.redispatched_jobs = 0
         self.shed_jobs = 0
+        self.failed_shard_retries = 0
 
     # ------------------------------------------------------------------
     def run(self, work: Union[SweepSpec, Sequence[CompileJob]], *,
@@ -156,7 +170,8 @@ class ClusterCoordinator:
                     f"unfinished; cluster: {self.topology.stats()}")
             pending, saturated_only = self._dispatch_round(
                 pending, record_result, exclude=frozenset()
-                if rounds == 1 else self._last_saturated)
+                if rounds == 1
+                else self._last_saturated | self._last_failed)
             if pending and saturated_only:
                 time.sleep(self.retry_delay)
 
@@ -174,11 +189,14 @@ class ClusterCoordinator:
                 f"no live worker endpoints remain "
                 f"({len(pending)} job(s) unfinished); "
                 f"cluster: {self.topology.stats()}")
-        # Endpoints that back-pressured last round shed to siblings this
-        # round — unless that would leave nobody to dispatch to.
+        # Endpoints that back-pressured (or failed their shard job)
+        # last round shed to siblings this round — unless that would
+        # leave nobody to dispatch to.  Weights flow into the
+        # rendezvous hash, so heterogeneous fleets shard by capacity.
         usable = [endpoint for endpoint in alive
                   if endpoint.url not in exclude] or alive
-        shards = shard_jobs(pending, [endpoint.url for endpoint in usable])
+        shards = shard_jobs(pending, {endpoint.url: endpoint.weight
+                                      for endpoint in usable})
 
         consumers: List[ShardConsumer] = []
         saturated: set = set()
@@ -219,6 +237,7 @@ class ClusterCoordinator:
                 timeout=self.shard_timeout).start())
 
         completed: set = set()
+        failed_shard: set = set()
         for consumer in consumers:
             consumer.join()
             if consumer.outcome == COMPLETED:
@@ -232,6 +251,14 @@ class ClusterCoordinator:
                 self.topology.mark_dead(
                     consumer.endpoint,
                     f"entry stream died: {consumer.error}")
+            elif consumer.outcome == UNFINISHED:
+                # The worker is reachable but its shard job ended
+                # FAILED/CANCELLED server-side.  Retry the remainder on
+                # an *alternate* worker: excluding this endpoint from
+                # the next round re-routes the jobs instead of handing
+                # them straight back to the same sick queue.
+                failed_shard.add(consumer.endpoint.url)
+                self.failed_shard_retries += len(consumer.unfinished())
             elif consumer.outcome == CRASHED:
                 # Not the worker's fault (typically the caller's
                 # on_entry raising); re-raise the original exception
@@ -241,6 +268,7 @@ class ClusterCoordinator:
             raise fatal
 
         self._last_saturated = frozenset(saturated)
+        self._last_failed = frozenset(failed_shard)
         still_pending = [(fingerprint, job) for fingerprint, job in pending
                          if fingerprint not in completed]
         saturated_only = bool(saturated) and not died_at_submit \
@@ -249,6 +277,10 @@ class ClusterCoordinator:
 
     #: Endpoints that 503'd in the previous round (shed next round).
     _last_saturated: frozenset = frozenset()
+
+    #: Endpoints whose shard job failed server-side in the previous
+    #: round (their retried jobs go to alternates next round).
+    _last_failed: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -307,6 +339,7 @@ class ClusterCoordinator:
             "rounds_run": self.rounds_run,
             "redispatched_jobs": self.redispatched_jobs,
             "shed_jobs": self.shed_jobs,
+            "failed_shard_retries": self.failed_shard_retries,
             "max_rounds": self.max_rounds,
         }
 

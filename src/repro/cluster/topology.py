@@ -28,6 +28,10 @@ class WorkerEndpoint:
         url: Normalized service root (no trailing slash) — also the
             endpoint's sharding key.
         client: The HTTP client used for every call to this server.
+        weight: Relative sharding capacity (> 0, default 1.0): a
+            weight-2 endpoint draws about twice the jobs of a weight-1
+            sibling under the coordinator's weighted rendezvous
+            hashing, so heterogeneous fleets shard proportionally.
         alive: Current liveness belief (probe result or mid-sweep
             transport failure).
         last_error: Message of the failure that last marked the
@@ -36,9 +40,13 @@ class WorkerEndpoint:
     """
 
     def __init__(self, url: str, client=None, *,
-                 client_factory: Callable[[str], ServiceClient] = None
-                 ) -> None:
+                 client_factory: Callable[[str], ServiceClient] = None,
+                 weight: float = 1.0) -> None:
         self.url = url.rstrip("/")
+        if not weight > 0:
+            raise ClusterError(
+                f"endpoint {self.url!r} needs a weight > 0, got {weight!r}")
+        self.weight = float(weight)
         if client is None:
             factory = client_factory or ServiceClient
             client = factory(self.url)
@@ -77,6 +85,7 @@ class WorkerEndpoint:
         return {
             "url": self.url,
             "alive": self.alive,
+            "weight": self.weight,
             "last_error": self.last_error,
             "last_probe_at": self.last_probe_at,
             "probes": self.probes,
@@ -155,6 +164,71 @@ class ClusterTopology:
             "endpoints": [endpoint.stats() for endpoint in self],
             "registered": len(self),
             "alive": len(self.alive()),
+        }
+
+    # ------------------------------------------------------------------
+    #: Per-worker counters fleet_stats aggregates into fleet totals.
+    FLEET_COUNTERS = (
+        "queue_depth", "queue_capacity", "workers", "busy_workers",
+        "requests", "jobs_run", "job_failures",
+        "cache_hits", "cache_misses", "disk_hits",
+        "disk_entries", "disk_bytes", "disk_evictions", "disk_orphans",
+    )
+
+    def fleet_stats(self) -> Dict[str, object]:
+        """One ``GET /stats`` round trip per endpoint, aggregated.
+
+        Each worker contributes a flat row — queue depth/capacity,
+        worker threads (total and busy), request/job counters, session
+        cache hits/misses, and disk-cache size/eviction/orphan counters
+        — and the ``fleet`` entry sums every counter across the
+        *reachable* workers.  An unreachable endpoint still gets a row
+        (``reachable: False`` plus the error message) so a dashboard
+        shows the hole in the fleet instead of silently shrinking it;
+        it contributes nothing to the totals.
+        """
+        rows: List[Dict[str, object]] = []
+        totals: Dict[str, int] = {key: 0 for key in self.FLEET_COUNTERS}
+        reachable = 0
+        for endpoint in self:
+            row: Dict[str, object] = {"url": endpoint.url,
+                                      "weight": endpoint.weight}
+            try:
+                payload = endpoint.client.stats()
+            except ServiceError as error:
+                row["reachable"] = False
+                row["error"] = str(error)
+                rows.append(row)
+                continue
+            reachable += 1
+            service = payload.get("service") or {}
+            session = payload.get("session") or {}
+            disk = session.get("disk_cache") or {}
+            row.update({
+                "reachable": True,
+                "queue_depth": service.get("queue_depth", 0),
+                "queue_capacity": service.get("queue_capacity", 0),
+                "workers": service.get("workers", 0),
+                "busy_workers": service.get("busy_workers", 0),
+                "requests": service.get("requests", 0),
+                "jobs_run": service.get("jobs_run", 0),
+                "job_failures": service.get("job_failures", 0),
+                "cache_hits": session.get("cache_hits", 0),
+                "cache_misses": session.get("cache_misses", 0),
+                "disk_hits": session.get("disk_hits", 0),
+                "disk_entries": disk.get("size", 0),
+                "disk_bytes": disk.get("bytes", 0),
+                "disk_evictions": disk.get("evictions", 0),
+                "disk_orphans": disk.get("orphans_removed", 0),
+            })
+            for key in self.FLEET_COUNTERS:
+                totals[key] += row[key]
+            rows.append(row)
+        return {
+            "workers": rows,
+            "fleet": totals,
+            "registered": len(self),
+            "reachable": reachable,
         }
 
     def __repr__(self) -> str:

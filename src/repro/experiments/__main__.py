@@ -22,6 +22,11 @@ Examples::
     python -m repro.experiments cluster-sweep RD53 ADDER4 \\
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732 \\
         --policies lazy square --grid 5 5 --export cluster.csv
+    python -m repro.experiments tune RD53 MUL32 --strategy halving \\
+        --scales quick laptop --objective aqv --grid 5 5 \\
+        --journal tune.jsonl --export-best best.json
+    python -m repro.experiments cluster-stats \\
+        --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
 """
 
 from __future__ import annotations
@@ -127,6 +132,147 @@ def _run_cluster_sweep(args: argparse.Namespace) -> tuple[str, list]:
     return text, sweep.rows()
 
 
+def _run_tune(args: argparse.Namespace) -> tuple[str, list]:
+    """Search the policy/config space for the given benchmarks."""
+    from repro.exceptions import TunerError
+    from repro.tuner import (
+        GridSearch,
+        MultiObjective,
+        RandomSearch,
+        SearchSpace,
+        SuccessiveHalving,
+        TuningRun,
+    )
+
+    if not args.names:
+        raise SystemExit("tune needs benchmark names, e.g. "
+                         "`python -m repro.experiments tune RD53 MUL32`")
+    scales = tuple(args.scales or ("quick", "laptop"))
+    if args.strategy == "grid":
+        strategy = GridSearch(scale=scales[-1])
+    elif args.strategy == "random":
+        strategy = RandomSearch(trials=8 if args.trials is None
+                                else args.trials,
+                                seed=args.seed, scale=scales[-1])
+    else:
+        strategy = SuccessiveHalving(scales=scales, trials=args.trials,
+                                     seed=args.seed)
+    if args.endpoint:
+        from repro.cluster import ClusterCoordinator
+
+        backend = ClusterCoordinator(args.endpoint)
+        backend_label = f"{len(args.endpoint)}-worker cluster"
+    else:
+        backend = Session(jobs=args.jobs, cache_dir=args.cache_dir)
+        backend_label = "local session"
+
+    def progress(record: dict) -> None:
+        status = "ok" if record["ok"] else \
+            f"FAILED ({record['error']['error_type']})"
+        knobs = ",".join(f"{k}={v}" for k, v
+                         in sorted(record["candidate"].items()))
+        print(f"  [{record['benchmark']} @{record['scale']}] "
+              f"{knobs}: {status}", flush=True)
+
+    run = TuningRun(
+        SearchSpace.policy_space(),
+        MultiObjective(*(args.objective or ["aqv"])),
+        strategy,
+        args.names,
+        machine=_machine_spec(args),
+        backend=backend,
+        journal_path=args.journal,
+        on_trial=progress,
+    )
+    started = time.perf_counter()
+    report = run.run()
+    elapsed = time.perf_counter() - started
+    stats = run.stats()
+    try:
+        best = report.best_config()
+    except TunerError:
+        # Per-trial failure is a structured outcome, not a crash: the
+        # leaderboard (with its error column) is still worth printing.
+        best = None
+    title = (f"Tuning leaderboard: {len(args.names)} benchmark(s), "
+             f"{args.strategy} over {len(run.space)} candidate(s) "
+             f"via {backend_label}")
+    text = (report.table(title)
+            + f"\n[{stats['trials_executed']} trial(s) compiled, "
+            f"{stats['trials_deduped']} deduped, "
+            f"{stats['journal_restored']} restored from journal "
+            f"in {elapsed:.1f}s]\n")
+    if best is None:
+        text += ("best config: none — every candidate failed "
+                 "(see the error column above)\n")
+    else:
+        text += f"best config: {best}\n"
+    if args.export_best:
+        if best is None:
+            raise SystemExit("cannot export a best config: every "
+                             "candidate failed")
+        import json as _json
+
+        with open(args.export_best, "w", encoding="utf-8") as stream:
+            stream.write(_json.dumps(best, indent=1, sort_keys=True))
+        text += f"[best config exported to {args.export_best}]\n"
+    if args.export:
+        if args.export.lower().endswith(".json"):
+            report.to_json(args.export)
+        else:
+            from repro.analysis.report import export_rows
+
+            export_rows(report.leaderboard_rows(), path=args.export)
+        text += f"[leaderboard exported to {args.export}]\n"
+    return text, report.leaderboard_rows()
+
+
+def _run_cluster_stats(args: argparse.Namespace) -> str:
+    """Aggregate `/stats` across a fleet of compile servers."""
+    from repro.analysis.report import format_comparison
+    from repro.cluster import ClusterTopology
+
+    stats = ClusterTopology(args.endpoint).fleet_stats()
+    columns = ("worker", "up", "queue", "busy", "jobs_run", "failures",
+               "cache_hits", "cache_misses", "disk_hits", "disk_entries",
+               "evictions", "orphans")
+
+    def row(label: str, up: str, source: dict) -> dict:
+        return {
+            "worker": label,
+            "up": up,
+            "queue": f"{source.get('queue_depth', 0)}/"
+                     f"{source.get('queue_capacity', 0)}",
+            "busy": f"{source.get('busy_workers', 0)}/"
+                    f"{source.get('workers', 0)}",
+            "jobs_run": source.get("jobs_run", 0),
+            "failures": source.get("job_failures", 0),
+            "cache_hits": source.get("cache_hits", 0),
+            "cache_misses": source.get("cache_misses", 0),
+            "disk_hits": source.get("disk_hits", 0),
+            "disk_entries": source.get("disk_entries", 0),
+            "evictions": source.get("disk_evictions", 0),
+            "orphans": source.get("disk_orphans", 0),
+        }
+
+    rows = []
+    for worker in stats["workers"]:
+        if worker.get("reachable"):
+            rows.append(row(worker["url"], "yes", worker))
+        else:
+            rows.append(dict.fromkeys(columns, "")
+                        | {"worker": worker["url"], "up": "DOWN"})
+    rows.append(row("FLEET TOTAL", "", stats["fleet"]))
+    title = (f"Cluster stats: {stats['reachable']}/{stats['registered']} "
+             f"worker(s) reachable")
+    text = format_comparison(title, rows, columns=list(columns))
+    down = [worker for worker in stats["workers"]
+            if not worker.get("reachable")]
+    for worker in down:
+        text += f"[{worker['url']} unreachable: {worker['error']}]\n"
+    return text
+
+
 def _run_compile(session: Session, args: argparse.Namespace) -> tuple[str, list]:
     if not args.names:
         raise SystemExit("compile needs a benchmark name, e.g. "
@@ -167,11 +313,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
                                                        "compile", "serve",
-                                                       "cluster-sweep"],
+                                                       "cluster-sweep",
+                                                       "tune",
+                                                       "cluster-stats"],
                         help="which table/figure to regenerate, `sweep` / "
                              "`compile` for ad-hoc jobs, `serve` to expose "
-                             "the session over HTTP, or `cluster-sweep` to "
-                             "shard a sweep across running servers")
+                             "the session over HTTP, `cluster-sweep` to "
+                             "shard a sweep across running servers, `tune` "
+                             "to auto-search the policy space, or "
+                             "`cluster-stats` to aggregate fleet telemetry")
     parser.add_argument("names", nargs="*",
                         help="benchmark names for `sweep` (default: all) "
                              "and `compile`")
@@ -212,8 +362,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="disk cache size cap; overflow evicts "
                              "least-recently-used results (`serve` only)")
     parser.add_argument("--endpoint", action="append", metavar="URL",
-                        help="compile-server URL for `cluster-sweep`; "
-                             "repeat for each worker in the fleet")
+                        help="compile-server URL for `cluster-sweep`, "
+                             "`cluster-stats` and `tune`; repeat for each "
+                             "worker in the fleet")
+    parser.add_argument("--strategy", default="halving",
+                        choices=["halving", "grid", "random"],
+                        help="search strategy for `tune` (halving races "
+                             "candidates up the --scales ladder)")
+    parser.add_argument("--trials", type=int, metavar="N",
+                        help="candidate sample size for `tune` "
+                             "(default: the full policy grid)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="seed for `tune` candidate sampling")
+    parser.add_argument("--objective", action="append", metavar="OBJ",
+                        help="tuning objective(s), e.g. `aqv`, `max:gates`, "
+                             "`qubits*2` (default: aqv); repeat for "
+                             "multi-objective Pareto runs")
+    parser.add_argument("--scales", nargs="+", metavar="SCALE",
+                        help="benchmark scale ladder for `tune` "
+                             "(default: quick laptop)")
+    parser.add_argument("--journal", metavar="PATH",
+                        help="append-only JSONL trial journal for `tune`; "
+                             "rerun with the same path to resume a killed "
+                             "run without recompiling")
+    parser.add_argument("--export-best", metavar="PATH",
+                        help="write the winning preset-compatible config "
+                             "dict to PATH (`tune` only)")
     args = parser.parse_args(argv)
 
     if args.experiment != "serve":
@@ -223,8 +397,47 @@ def main(argv: list[str] | None = None) -> int:
                 or args.cache_max_bytes is not None:
             parser.error("--workers/--queue-size/--cache-max-bytes only "
                          "apply to `serve`")
-    if args.experiment != "cluster-sweep" and args.endpoint:
-        parser.error("--endpoint only applies to `cluster-sweep`")
+    if args.experiment not in ("cluster-sweep", "cluster-stats", "tune") \
+            and args.endpoint:
+        parser.error("--endpoint only applies to `cluster-sweep`, "
+                     "`cluster-stats` and `tune`")
+    if args.experiment != "tune":
+        for flag, given in (("--strategy", args.strategy != "halving"),
+                            ("--trials", args.trials is not None),
+                            ("--seed", args.seed != 0),
+                            ("--objective", args.objective),
+                            ("--scales", args.scales),
+                            ("--journal", args.journal),
+                            ("--export-best", args.export_best)):
+            if given:
+                parser.error(f"{flag} only applies to `tune`")
+    if args.experiment == "cluster-stats":
+        if not args.endpoint:
+            parser.error("cluster-stats needs at least one --endpoint URL "
+                         "(repeat the flag for each worker)")
+        print(_run_cluster_stats(args))
+        return 0
+    if args.experiment == "tune":
+        if args.endpoint and (args.jobs != 1 or args.cache_dir):
+            parser.error("--jobs/--cache-dir do not apply to a cluster "
+                         "`tune`; compilation (and caching) happens on "
+                         "the servers")
+        if args.scale != "laptop":
+            parser.error("tune races its own --scales ladder; "
+                         "--scale does not apply")
+        if args.policies:
+            parser.error("--policies does not apply to `tune`; the "
+                         "search space is every registered allocation x "
+                         "reclamation pair")
+        if args.trials is not None and args.strategy == "grid":
+            parser.error("--trials does not apply to --strategy grid "
+                         "(the grid is exhaustive); use random or "
+                         "halving to cap the candidate count")
+        if args.trials is not None and args.trials < 1:
+            parser.error(f"--trials must be >= 1, got {args.trials}")
+        text, _ = _run_tune(args)
+        print(text)
+        return 0
     if args.experiment == "cluster-sweep":
         if not args.endpoint:
             parser.error("cluster-sweep needs at least one --endpoint URL "

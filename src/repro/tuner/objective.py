@@ -1,0 +1,210 @@
+"""Tuning objectives over compilation headline metrics.
+
+An :class:`Objective` names one headline metric of a
+:class:`~repro.core.result.CompilationResult` (the columns of every
+sweep row — gate count, qubit footprint, active quantum volume, ...)
+with a direction and a weight; a :class:`MultiObjective` combines
+several.  Two views matter for search:
+
+* **Scalarization** — a single comparable score per candidate (the
+  weighted sum of oriented metric values, lower is better), which is
+  what racing strategies rank and promote on.
+* **Pareto dominance** — for multi-objective runs, the set of
+  candidates no other candidate beats on *every* objective; the
+  leaderboard flags this front so a user trading gates against qubits
+  sees the whole frontier, not just the scalarized winner.
+
+All metric values are integers out of a deterministic compiler, so both
+views are exactly reproducible across processes and backends — the
+property the tuner's byte-identical leaderboard exports rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import TunerError
+from repro.api.sweep import ROW_METRIC_KEYS
+from repro.core.result import CompilationResult
+
+#: Metrics an objective may name: the sweep-row headline columns plus
+#: the swap-inclusive total gate count.
+TUNER_METRICS: Tuple[str, ...] = tuple(ROW_METRIC_KEYS) + ("total_gates",)
+
+#: Objective directions.
+GOALS = ("min", "max")
+
+
+def metric_values(result: CompilationResult) -> Dict[str, float]:
+    """Every tunable metric of one result, as plain numbers.
+
+    Only deterministic metrics appear — wall-clock fields like
+    ``compile_seconds`` are deliberately excluded so that scores (and
+    the leaderboards built from them) are identical no matter where or
+    how fast the trial compiled.
+    """
+    summary = result.summary()
+    values = {key: summary[key] for key in ROW_METRIC_KEYS}
+    values["total_gates"] = result.total_gate_count
+    return values
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One direction over one headline metric.
+
+    Attributes:
+        metric: A :data:`TUNER_METRICS` name, e.g. ``"aqv"``.
+        goal: ``"min"`` or ``"max"``.
+        weight: Relative weight in the scalarized score; must be > 0.
+    """
+
+    metric: str
+    goal: str = "min"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.metric not in TUNER_METRICS:
+            raise TunerError(
+                f"unknown objective metric {self.metric!r}; choose from "
+                f"{list(TUNER_METRICS)}")
+        if self.goal not in GOALS:
+            raise TunerError(
+                f"objective goal must be 'min' or 'max', got {self.goal!r}")
+        if not self.weight > 0:
+            raise TunerError(
+                f"objective weight must be > 0, got {self.weight}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "Objective":
+        """Parse the CLI shorthand ``[min:|max:]metric[*weight]``.
+
+        Examples: ``"aqv"``, ``"max:aqv"``, ``"gates*2"``,
+        ``"min:qubits*0.5"``.
+        """
+        text = spec.strip()
+        goal = "min"
+        if ":" in text:
+            goal, _, text = text.partition(":")
+            goal = goal.strip().lower()
+        weight = 1.0
+        if "*" in text:
+            text, _, raw = text.partition("*")
+            try:
+                weight = float(raw)
+            except ValueError:
+                raise TunerError(
+                    f"objective spec {spec!r} has a non-numeric weight "
+                    f"{raw!r}") from None
+        return cls(metric=text.strip(), goal=goal, weight=weight)
+
+    def oriented(self, value: float) -> float:
+        """The value as a cost (lower is better under either goal)."""
+        return value if self.goal == "min" else -value
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-compatible description (part of the run fingerprint)."""
+        return {"metric": self.metric, "goal": self.goal,
+                "weight": self.weight}
+
+    def __str__(self) -> str:
+        suffix = "" if self.weight == 1.0 else f"*{self.weight:g}"
+        return f"{self.goal}:{self.metric}{suffix}"
+
+
+class MultiObjective:
+    """An ordered set of objectives with scalarization and dominance.
+
+    Args:
+        objectives: At least one :class:`Objective` (or a CLI shorthand
+            string each, parsed through :meth:`Objective.parse`); no
+            two may name the same metric.
+    """
+
+    def __init__(self, *objectives) -> None:
+        parsed: List[Objective] = []
+        for objective in objectives:
+            if isinstance(objective, str):
+                objective = Objective.parse(objective)
+            parsed.append(objective)
+        if not parsed:
+            raise TunerError("a MultiObjective needs at least one objective")
+        metrics = [objective.metric for objective in parsed]
+        if len(set(metrics)) != len(metrics):
+            raise TunerError(
+                f"objectives repeat a metric: {metrics}")
+        self.objectives: Tuple[Objective, ...] = tuple(parsed)
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> Tuple[str, ...]:
+        """The metric names, in objective order."""
+        return tuple(objective.metric for objective in self.objectives)
+
+    def scalarize(self, values: Mapping[str, float]) -> float:
+        """Weighted sum of oriented metric values; lower is better.
+
+        Args:
+            values: Metric name -> value, covering every objective
+                metric (extra keys are ignored) — the shape
+                :func:`metric_values` returns.
+        """
+        total = 0.0
+        for objective in self.objectives:
+            try:
+                value = values[objective.metric]
+            except KeyError:
+                raise TunerError(
+                    f"metrics are missing objective metric "
+                    f"{objective.metric!r}: {sorted(values)}") from None
+            total += objective.weight * objective.oriented(value)
+        return total
+
+    def score_result(self, result: CompilationResult) -> float:
+        """Scalarized score of one compilation result."""
+        return self.scalarize(metric_values(result))
+
+    # ------------------------------------------------------------------
+    def dominates(self, first: Mapping[str, float],
+                  second: Mapping[str, float]) -> bool:
+        """True when ``first`` is at least as good on every objective
+        and strictly better on at least one (weights play no part)."""
+        better_somewhere = False
+        for objective in self.objectives:
+            a = objective.oriented(first[objective.metric])
+            b = objective.oriented(second[objective.metric])
+            if a > b:
+                return False
+            if a < b:
+                better_somewhere = True
+        return better_somewhere
+
+    def pareto_front(self, points: Sequence[Mapping[str, float]]
+                     ) -> List[bool]:
+        """Non-domination mask over ``points`` (True = on the front).
+
+        Duplicated metric vectors are all on the front (they do not
+        dominate each other), matching the intuition that two configs
+        with identical metrics are equally worth reporting.
+        """
+        mask: List[bool] = []
+        for index, point in enumerate(points):
+            dominated = any(
+                self.dominates(other, point)
+                for position, other in enumerate(points) if position != index)
+            mask.append(not dominated)
+        return mask
+
+    # ------------------------------------------------------------------
+    def describe(self) -> List[Dict[str, object]]:
+        """JSON-compatible description (part of the run fingerprint)."""
+        return [objective.describe() for objective in self.objectives]
+
+    def __len__(self) -> int:
+        return len(self.objectives)
+
+    def __repr__(self) -> str:
+        return ("MultiObjective("
+                + ", ".join(str(o) for o in self.objectives) + ")")

@@ -1,0 +1,249 @@
+"""Tuning reports: leaderboards, Pareto fronts, best-config export.
+
+A :class:`TuningReport` is the deterministic artefact of a
+:class:`~repro.tuner.runner.TuningRun`: every candidate's final
+standing, ranked best-first, with the Pareto front flagged for
+multi-objective runs.  Exports are stable — the same run configuration
+produces byte-identical :meth:`TuningReport.to_json` text on any
+backend, which is how the demo and CI prove local-vs-cluster
+equivalence — and the winner comes back as a
+:func:`~repro.core.compiler.preset`-compatible override dict, ready to
+drop into ``preset("square", **best)`` or a
+:class:`~repro.api.sweep.SweepSpec` policy list.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import TunerError
+from repro.tuner.objective import MultiObjective
+from repro.tuner.space import Candidate, candidate_key, candidate_label
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One candidate's scored outcome in one round.
+
+    Attributes:
+        candidate: The evaluated config overrides.
+        round_number: The round it was evaluated in.
+        scale: The benchmark scale it compiled at.
+        ok: True when every benchmark trial succeeded.
+        score: Scalarized objective score (lower is better); None when
+            any trial failed.
+        metrics: Aggregate (summed-across-benchmarks) metric values;
+            None when any trial failed.
+        per_benchmark: Per-benchmark detail: ``{"ok": True, "metrics":
+            {...}}`` or ``{"ok": False, "error": {...}}``.
+    """
+
+    candidate: Candidate
+    round_number: int
+    scale: str
+    ok: bool
+    score: Optional[float]
+    metrics: Optional[Dict[str, float]]
+    per_benchmark: Dict[str, Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """One completed strategy round: its evaluations, in round order."""
+
+    number: int
+    scale: str
+    evaluations: List[CandidateEvaluation]
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+
+class TuningReport:
+    """The ranked outcome of a finished tuning run.
+
+    Every candidate appears once, at its *final* evaluation (the
+    furthest round it survived to).  Ranking: candidates from later
+    rounds outrank earlier-eliminated ones; within a round, score
+    ascending; ties break on the canonical candidate JSON so the order
+    is identical in every process.  Failed candidates sink to the
+    bottom of their round.
+
+    Args:
+        descriptor: The owning run's
+            :meth:`~repro.tuner.runner.TuningRun.run_descriptor`.
+        objective: The run's multi-objective.
+        benchmarks: The benchmark suite candidates were scored on.
+        rounds: Completed rounds, in execution order.
+    """
+
+    def __init__(self, descriptor: Mapping[str, object],
+                 objective: MultiObjective,
+                 benchmarks: Sequence[str],
+                 rounds: Sequence[RoundResult]) -> None:
+        if not rounds:
+            raise TunerError("a TuningReport needs at least one round")
+        self.descriptor = dict(descriptor)
+        self.objective = objective
+        self.benchmarks = tuple(benchmarks)
+        self.rounds = list(rounds)
+        self._standings = self._rank()
+
+    # ------------------------------------------------------------------
+    def _rank(self) -> List[CandidateEvaluation]:
+        """Final standings: one evaluation per candidate, ranked."""
+        final: Dict[str, CandidateEvaluation] = {}
+        for round_ in self.rounds:  # later rounds overwrite earlier
+            for evaluation in round_.evaluations:
+                final[candidate_key(evaluation.candidate)] = evaluation
+
+        def sort_key(evaluation: CandidateEvaluation):
+            score = evaluation.score if evaluation.score is not None \
+                else math.inf
+            return (-evaluation.round_number, score,
+                    candidate_key(evaluation.candidate))
+
+        return sorted(final.values(), key=sort_key)
+
+    @property
+    def standings(self) -> List[CandidateEvaluation]:
+        """Every candidate's final evaluation, best first."""
+        return list(self._standings)
+
+    @property
+    def final_round(self) -> RoundResult:
+        """The last completed round (where the winners live)."""
+        return self.rounds[-1]
+
+    def pareto_mask(self) -> List[bool]:
+        """Pareto-front membership aligned with :attr:`standings`.
+
+        The front is computed over the successful final-round
+        evaluations (earlier-eliminated or failed candidates are never
+        on it): the candidates no final-round survivor beats on every
+        objective at once.
+        """
+        last = self.rounds[-1].number
+        front_pool = [evaluation for evaluation in self._standings
+                      if evaluation.round_number == last and evaluation.ok]
+        mask = self.objective.pareto_front(
+            [evaluation.metrics for evaluation in front_pool])
+        on_front = {candidate_key(evaluation.candidate)
+                    for evaluation, keep in zip(front_pool, mask) if keep}
+        return [candidate_key(evaluation.candidate) in on_front
+                for evaluation in self._standings]
+
+    # ------------------------------------------------------------------
+    def best(self) -> CandidateEvaluation:
+        """The winning evaluation.
+
+        Raises:
+            TunerError: Every candidate failed.
+        """
+        top = self._standings[0]
+        if not top.ok:
+            raise TunerError(
+                "every candidate failed; no best config to report "
+                "(inspect the leaderboard rows' error columns)")
+        return top
+
+    def best_config(self) -> Dict[str, object]:
+        """The winner as a ``preset()``-compatible override dict.
+
+        ``preset("square", **report.best_config())`` (or any other base
+        preset) rebuilds the winning compiler config; the dict also
+        drops straight into
+        :meth:`SweepSpec.with_config <repro.api.sweep.SweepSpec>` or a
+        job descriptor's ``config`` overrides.
+        """
+        return dict(self.best().candidate)
+
+    # ------------------------------------------------------------------
+    def leaderboard_rows(self) -> List[Dict[str, object]]:
+        """Flat ranked rows (for tables and CSV export).
+
+        Columns: rank, candidate label, final scale, score, Pareto
+        membership, the objective metrics' aggregate values, and an
+        ``error`` column (empty for successes) when any candidate
+        failed.
+        """
+        rows: List[Dict[str, object]] = []
+        for rank, (evaluation, pareto) in enumerate(
+                zip(self._standings, self.pareto_mask()), start=1):
+            row: Dict[str, object] = {
+                "rank": rank,
+                "candidate": candidate_label(evaluation.candidate),
+                "scale": evaluation.scale,
+                "score": "" if evaluation.score is None
+                else evaluation.score,
+                "pareto": "*" if pareto else "",
+            }
+            for metric in self.objective.metrics:
+                row[metric] = "" if evaluation.metrics is None \
+                    else evaluation.metrics[metric]
+            if not evaluation.ok:
+                failures = [detail["error"]["error_type"]
+                            for detail in evaluation.per_benchmark.values()
+                            if not detail["ok"]]
+                row["error"] = ",".join(sorted(set(failures)))
+            rows.append(row)
+        if any("error" in row for row in rows):
+            for row in rows:
+                row.setdefault("error", "")
+        return rows
+
+    def table(self, title: Optional[str] = None) -> str:
+        """Aligned text leaderboard."""
+        from repro.analysis.report import format_comparison, format_table
+
+        if title:
+            return format_comparison(title, self.leaderboard_rows())
+        return format_table(self.leaderboard_rows())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-compatible report (deterministic fields only).
+
+        Contains no timings, counters or backend identity — the export
+        is a pure function of the run configuration and the (equally
+        deterministic) compiler, so local and cluster runs of the same
+        seeded search serialize byte-identically.
+        """
+        return {
+            "run": self.descriptor,
+            "benchmarks": list(self.benchmarks),
+            "objective": self.objective.describe(),
+            "rounds": [{"number": round_.number, "scale": round_.scale,
+                        "candidates": len(round_)}
+                       for round_ in self.rounds],
+            "leaderboard": [{
+                "rank": rank,
+                "candidate": evaluation.candidate,
+                "round": evaluation.round_number,
+                "scale": evaluation.scale,
+                "ok": evaluation.ok,
+                "score": evaluation.score,
+                "pareto": pareto,
+                "metrics": evaluation.metrics,
+                "benchmarks": evaluation.per_benchmark,
+            } for rank, (evaluation, pareto) in enumerate(
+                zip(self._standings, self.pareto_mask()), start=1)],
+            "best": (self._standings[0].candidate
+                     if self._standings[0].ok else None),
+        }
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """Serialize the report (optionally writing ``path``)."""
+        text = json.dumps(self.to_dict(), sort_keys=True, indent=1)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as stream:
+                stream.write(text)
+        return text
+
+    def __repr__(self) -> str:
+        return (f"TuningReport(rounds={len(self.rounds)}, "
+                f"candidates={len(self._standings)}, "
+                f"benchmarks={len(self.benchmarks)})")

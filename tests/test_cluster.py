@@ -103,6 +103,44 @@ class TestSharding:
     def test_no_endpoints_raises(self):
         with pytest.raises(ClusterError):
             assign_endpoint("abc", ())
+        with pytest.raises(ClusterError):
+            assign_endpoint("abc", {})
+
+    def test_uniform_weights_match_legacy_placement(self):
+        # weight=1 scores are a monotonic transform of the raw hash, so
+        # existing fleets (and their warm cache layouts) see the exact
+        # placement they had before weights existed.
+        pairs = spec_pairs()
+        unweighted = shard_jobs(pairs, URLS)
+        weighted = shard_jobs(pairs, {url: 1.0 for url in URLS})
+        assert {url: [fp for fp, _ in shard]
+                for url, shard in unweighted.items()} == \
+               {url: [fp for fp, _ in shard]
+                for url, shard in weighted.items()}
+
+    def test_heavier_endpoints_draw_proportionally_more(self):
+        fingerprints = [f"synthetic-{index:05d}" for index in range(2000)]
+        weights = {URLS[0]: 3.0, URLS[1]: 1.0}
+        counts = {url: 0 for url in URLS}
+        for fingerprint in fingerprints:
+            counts[assign_endpoint(fingerprint, weights)] += 1
+        assert sum(counts.values()) == len(fingerprints)
+        ratio = counts[URLS[0]] / counts[URLS[1]]
+        assert 2.0 < ratio < 4.5, \
+            f"a 3x-weighted endpoint should draw ~3x the jobs: {counts}"
+        # Determinism: the weighted assignment is a pure function.
+        assert [assign_endpoint(fp, weights) for fp in fingerprints[:50]] \
+            == [assign_endpoint(fp, weights) for fp in fingerprints[:50]]
+
+    def test_non_positive_weights_are_rejected(self):
+        from repro.cluster import shard_score
+
+        with pytest.raises(ClusterError, match="weight"):
+            shard_score("abc", URLS[0], weight=0.0)
+        with pytest.raises(ClusterError, match="weight"):
+            assign_endpoint("abc", {URLS[0]: -1.0})
+        with pytest.raises(ClusterError, match="weight"):
+            WorkerEndpoint(URLS[0], client=object(), weight=0)
 
 
 # ----------------------------------------------------------------------
@@ -360,6 +398,102 @@ class TestGcOrphans:
         assert ours.gc_orphans(min_age_seconds=0) == 0
         assert len(ours) == 2
 
+    @staticmethod
+    def backdate(path, seconds=3600):
+        """Make a file look ``seconds`` old (bypass the age threshold)."""
+        import os
+
+        old = time.time() - seconds
+        os.utime(path, (old, old))
+
+    @staticmethod
+    def put_without_flush(cache, benchmark="ADDER4"):
+        """One ``put()`` with no index flush — a writer mid-crash.
+
+        (``Session.run`` flushes the index per batch, so the
+        crashed-before-commit state needs a direct put.)
+        """
+        result = Session().compile(benchmark, machine=GRID, policy="square")
+        job = CompileJob.for_benchmark(benchmark, GRID, "square")
+        cache.put(job.fingerprint(), result, job=job)
+        return job.fingerprint()
+
+    def test_two_writers_sibling_inflight_files_survive(self, tmp_path):
+        # Writer A runs GC while writer B is mid-write in the same
+        # directory: B's temp file (mkstemp done, os.replace pending)
+        # and B's just-put payload (flush_index pending) are both
+        # *fresh*, so the age threshold protects them even though
+        # neither is committed to any index yet.
+        ours = DiskCache(tmp_path)
+        committed = self.warm(ours)
+        theirs = DiskCache(tmp_path)
+        uncommitted = self.put_without_flush(theirs)
+        inflight_tmp = tmp_path / "results" / "pending.json.777.tmp"
+        inflight_tmp.write_text("half-written payload")
+        assert ours.gc_orphans() == 0, \
+            "fresh sibling files must survive a default-threshold GC"
+        assert inflight_tmp.exists()
+        assert sorted(theirs.fingerprints()) == \
+            sorted([committed, uncommitted])
+        # Once B commits, its entry is safe at any age from A's side.
+        theirs.flush_index()
+        assert ours.gc_orphans(min_age_seconds=0) == 1  # the temp file
+        assert sorted(ours.fingerprints()) == \
+            sorted([committed, uncommitted])
+
+    def test_two_writers_committed_entries_never_reclaimed(self, tmp_path):
+        # Both writers commit; every payload then ages far past the
+        # threshold.  GC from either side must reclaim nothing: age
+        # only *permits* collection, commitment is what protects.
+        ours = DiskCache(tmp_path)
+        committed = self.warm(ours)
+        theirs = DiskCache(tmp_path)
+        session = Session(disk_cache=theirs)
+        session.compile("ADDER4", machine=GRID, policy="square")
+        theirs.flush_index()
+        for path in (tmp_path / "results").glob("*.json"):
+            self.backdate(path)
+        assert ours.gc_orphans() == 0
+        assert theirs.gc_orphans() == 0
+        assert len(ours) == 2
+        assert ours.get(committed) is not None
+
+    def test_two_writers_crashed_uncommitted_payload_is_reclaimed(
+            self, tmp_path):
+        # A sibling that died between put() and flush_index() leaves an
+        # uncommitted payload; once it is old enough the surviving
+        # long-lived server sweeps it — while its own committed entry
+        # (equally old) is not touched.
+        ours = DiskCache(tmp_path)
+        committed = self.warm(ours)
+        crashed = DiskCache(tmp_path)
+        self.put_without_flush(crashed)
+        del crashed  # the "crash": put() landed, flush_index() never did
+        stale_tmp = tmp_path / "results" / "dead.json.1.tmp"
+        stale_tmp.write_text("orphaned temp file")
+        for path in (tmp_path / "results").iterdir():
+            self.backdate(path)
+        assert ours.gc_orphans() == 2  # the payload and the temp file
+        assert not stale_tmp.exists()
+        assert ours.fingerprints() == [committed]
+        assert ours.get(committed) is not None
+
+    def test_fresh_process_adopts_uncommitted_payloads_instead(
+            self, tmp_path):
+        # The counterpart: a *fresh* DiskCache over the directory
+        # rebuilds its index from the payload files, adopting the
+        # crashed writer's valid payload rather than sweeping it.
+        ours = DiskCache(tmp_path)
+        self.warm(ours)
+        crashed = DiskCache(tmp_path)
+        self.put_without_flush(crashed)
+        del crashed  # no flush_index()
+        for path in (tmp_path / "results").iterdir():
+            self.backdate(path)
+        fresh = DiskCache(tmp_path)
+        assert fresh.gc_orphans() == 0
+        assert len(fresh) == 2
+
 
 # ----------------------------------------------------------------------
 # Deterministic fake workers for coordinator failure paths
@@ -371,19 +505,24 @@ class FakeWorkerClient:
     submit_async, iter_entries, poll) with deterministic failure knobs:
     ``reject_submits`` answers the next N submissions with 503
     back-pressure; ``die_after`` kills the worker (transport-wise) once
-    it has delivered that many entries.
+    it has delivered that many entries; ``fail_job_after`` ends the
+    current shard job FAILED server-side (worker stays reachable) once
+    that many entries have been delivered.
     """
 
-    def __init__(self, url, *, reject_submits=0, die_after=None):
+    def __init__(self, url, *, reject_submits=0, die_after=None,
+                 fail_job_after=None):
         self.url = url
         self.session = Session(isolate_failures=True)
         self.reject_submits = reject_submits
         self.die_after = die_after
+        self.fail_job_after = fail_job_after
         self.dead = False
         self.delivered = 0
         self.submissions = 0
         self._jobs = {}
         self._done = set()
+        self._failed = set()
         self._ids = itertools.count(1)
 
     def _check_alive(self):
@@ -411,6 +550,12 @@ class FakeWorkerClient:
             if self.die_after is not None and self.delivered >= self.die_after:
                 self.dead = True
                 raise ServiceError(f"{self.url} reset mid-stream")
+            if self.fail_job_after is not None \
+                    and self.delivered >= self.fail_job_after:
+                # Server-side job failure: the stream ends early but the
+                # worker itself stays perfectly reachable.
+                self._failed.add(job_id)
+                return
             entry = self.session.run([job])[0]
             self.delivered += 1
             yield index, CompilationService._entry_record(entry)
@@ -418,7 +563,19 @@ class FakeWorkerClient:
 
     def poll(self, job_id):
         self._check_alive()
+        if job_id in self._failed:
+            return {"state": "FAILED"}
         return {"state": "DONE" if job_id in self._done else "RUNNING"}
+
+    def stats(self):
+        self._check_alive()
+        return {
+            "service": {"queue_depth": 0, "queue_capacity": 64,
+                        "workers": 1, "busy_workers": 0,
+                        "requests": self.submissions,
+                        "jobs_run": self.delivered, "job_failures": 0},
+            "session": dict(self.session.stats(), disk_cache=None),
+        }
 
 
 class TestCoordinatorFailurePaths:
@@ -462,6 +619,44 @@ class TestCoordinatorFailurePaths:
         dead = [s for s in stats["topology"]["endpoints"]
                 if s["url"] == URLS[1]][0]
         assert not dead["alive"] and "mid-stream" in dead["last_error"]
+
+    def test_failed_shard_job_retries_on_alternate_worker(self):
+        # Worker B's shard job dies FAILED server-side after one entry;
+        # B itself stays reachable.  The coordinator must not hand the
+        # remainder straight back to B's sick queue: the next round
+        # excludes B, so the jobs retry on A — and the merged result is
+        # still byte-identical to a serial run.
+        serial = Session().run(SPEC, isolate_failures=True)
+        shards = shard_jobs(spec_pairs(), URLS)
+        victim_shard = len(shards[URLS[1]])
+        assert victim_shard >= 2
+        fakes = [FakeWorkerClient(URLS[0]),
+                 FakeWorkerClient(URLS[1], fail_job_after=1)]
+        coordinator = self.coordinator(fakes)
+        sweep = coordinator.run(SPEC)
+        assert sweep.to_json() == serial.to_json()
+        assert sweep.to_csv() == serial.to_csv()
+        stats = coordinator.stats()
+        assert stats["failed_shard_retries"] == victim_shard - 1
+        assert stats["redispatched_jobs"] == victim_shard - 1
+        assert stats["rounds_run"] == 2
+        # The failing worker was excluded from the retry round (exactly
+        # one submission ever reached it) yet is still alive.
+        assert fakes[1].submissions == 1
+        assert stats["topology"]["alive"] == 2
+        assert fakes[0].delivered == len(shards[URLS[0]]) + victim_shard - 1
+
+    def test_weighted_endpoints_shard_proportionally_and_merge_identically(
+            self):
+        serial = Session().run(SPEC, isolate_failures=True)
+        fakes = {url: FakeWorkerClient(url) for url in URLS}
+        heavy = WorkerEndpoint(URLS[0], client=fakes[URLS[0]], weight=64.0)
+        light = WorkerEndpoint(URLS[1], client=fakes[URLS[1]], weight=1.0)
+        coordinator = ClusterCoordinator([heavy, light], retry_delay=0.01)
+        sweep = coordinator.run(SPEC)
+        assert sweep.to_json() == serial.to_json()
+        assert fakes[URLS[0]].delivered > fakes[URLS[1]].delivered, \
+            "the weight-64 endpoint must draw the bulk of the sweep"
 
     def test_back_pressured_worker_sheds_load_to_sibling(self):
         serial = Session().run(SPEC, isolate_failures=True)
@@ -588,6 +783,35 @@ class TestTopology:
         with pytest.raises(ClusterError):
             topology.get("http://nowhere:1")
 
+    def test_fleet_stats_aggregates_and_flags_unreachable(self):
+        fakes = {url: FakeWorkerClient(url) for url in URLS}
+        topology = ClusterTopology(list(URLS),
+                                   client_factory=fakes.__getitem__)
+        job = CompileJob.for_benchmark("RD53", GRID, "square")
+        ticket = fakes[URLS[0]].submit_async({"jobs": [job.to_dict()]})
+        list(fakes[URLS[0]].iter_entries(ticket))
+        stats = topology.fleet_stats()
+        assert stats["registered"] == stats["reachable"] == 2
+        by_url = {row["url"]: row for row in stats["workers"]}
+        assert by_url[URLS[0]]["jobs_run"] == 1
+        assert by_url[URLS[1]]["jobs_run"] == 0
+        assert stats["fleet"]["jobs_run"] == 1
+        assert stats["fleet"]["cache_misses"] == 1
+        assert stats["fleet"]["queue_capacity"] == 128
+        # A dead worker still gets a row (so the dashboard shows the
+        # hole) but contributes nothing to the totals.
+        fakes[URLS[1]].dead = True
+        partial = topology.fleet_stats()
+        assert partial["reachable"] == 1 and partial["registered"] == 2
+        down = {row["url"]: row for row in partial["workers"]}[URLS[1]]
+        assert down["reachable"] is False and "refused" in down["error"]
+        assert partial["fleet"]["queue_capacity"] == 64
+
+    def test_endpoint_stats_carry_weight(self):
+        endpoint = WorkerEndpoint(URLS[0], client=object(), weight=2.5)
+        assert endpoint.stats()["weight"] == 2.5
+        assert WorkerEndpoint(URLS[0], client=object()).weight == 1.0
+
 
 # ----------------------------------------------------------------------
 # Real-HTTP integration: two live servers
@@ -665,6 +889,26 @@ class TestClusterHTTPIntegration:
                 stop(server)
         assert main(["sweep", *common, "--export", str(serial_path)]) == 0
         assert cluster_path.read_bytes() == serial_path.read_bytes()
+
+    def test_cli_cluster_stats_aggregates_live_fleet(self, capsys):
+        from repro.experiments.__main__ import main
+
+        servers, urls = start_cluster(2)
+        try:
+            ServiceClient(urls[0]).compile("RD53", machine=GRID,
+                                           policy="square")
+            assert main(["cluster-stats", "--endpoint", urls[0],
+                         "--endpoint", urls[1]]) == 0
+            out = capsys.readouterr().out
+            assert "2/2 worker(s) reachable" in out
+            assert "FLEET TOTAL" in out
+        finally:
+            for server in servers:
+                stop(server)
+        # The fleet stays inspectable with a hole in it.
+        assert main(["cluster-stats", "--endpoint", urls[0]]) == 0
+        out = capsys.readouterr().out
+        assert "0/1 worker(s) reachable" in out and "DOWN" in out
 
     def test_cli_validation(self):
         from repro.experiments.__main__ import main

@@ -78,6 +78,10 @@ class ClusterCoordinator:
         client_factory: ``factory(url) -> client`` override for building
             endpoint clients — the seam deterministic failure tests
             inject fake workers through.
+        api_key: Tenant credential forwarded to every shard as the
+            ``X-Repro-Key`` header, so a cluster sweep runs as one
+            principal fleet-wide (each worker resolves the key against
+            its own registry); None makes keyless (anonymous) requests.
         poll_timeout: Per-long-poll park time for entry streams.
         shard_timeout: Overall per-shard streaming deadline, seconds.
         max_rounds: Dispatch-round budget; None sizes it to the fleet
@@ -89,12 +93,14 @@ class ClusterCoordinator:
     def __init__(self,
                  endpoints: Sequence[Union[str, WorkerEndpoint]], *,
                  client_factory=None,
+                 api_key: Optional[str] = None,
                  poll_timeout: float = 10.0,
                  shard_timeout: Optional[float] = None,
                  max_rounds: Optional[int] = None,
                  retry_delay: float = 0.2) -> None:
         self.topology = ClusterTopology(endpoints,
-                                        client_factory=client_factory)
+                                        client_factory=client_factory,
+                                        api_key=api_key)
         self.poll_timeout = poll_timeout
         self.shard_timeout = shard_timeout
         self.max_rounds = max_rounds or max(4, 2 * len(self.topology))

@@ -37,19 +37,28 @@ class WorkerEndpoint:
         last_error: Message of the failure that last marked the
             endpoint dead, or None.
         probes / failures: Lifetime counters for telemetry.
+
+    ``api_key`` is the coordinator's tenant credential, forwarded to
+    the shard on every request (each worker resolves it against its own
+    registry), so a cluster sweep runs as the same principal end to
+    end.  Ignored when an explicit ``client`` or ``client_factory`` is
+    supplied — those own their credentials.
     """
 
     def __init__(self, url: str, client=None, *,
                  client_factory: Callable[[str], ServiceClient] = None,
-                 weight: float = 1.0) -> None:
+                 weight: float = 1.0,
+                 api_key: Optional[str] = None) -> None:
         self.url = url.rstrip("/")
         if not weight > 0:
             raise ClusterError(
                 f"endpoint {self.url!r} needs a weight > 0, got {weight!r}")
         self.weight = float(weight)
         if client is None:
-            factory = client_factory or ServiceClient
-            client = factory(self.url)
+            if client_factory is not None:
+                client = client_factory(self.url)
+            else:
+                client = ServiceClient(self.url, api_key=api_key)
         self.client = client
         self.alive = True
         self.last_error: Optional[str] = None
@@ -106,18 +115,23 @@ class ClusterTopology:
             one, order is preserved.
         client_factory: ``factory(url) -> client`` override, used by
             tests to inject deterministic fake workers.
+        api_key: Tenant credential every built client sends as its
+            ``X-Repro-Key`` header (the coordinator's principal,
+            forwarded to each shard); ignored for prebuilt endpoints
+            and when ``client_factory`` is given.
     """
 
     def __init__(self,
                  endpoints: Sequence[Union[str, WorkerEndpoint]], *,
-                 client_factory: Callable[[str], ServiceClient] = None
-                 ) -> None:
+                 client_factory: Callable[[str], ServiceClient] = None,
+                 api_key: Optional[str] = None) -> None:
         self._endpoints: "OrderedDict[str, WorkerEndpoint]" = OrderedDict()
         self._lock = threading.Lock()
         for endpoint in endpoints:
             if not isinstance(endpoint, WorkerEndpoint):
                 endpoint = WorkerEndpoint(endpoint,
-                                          client_factory=client_factory)
+                                          client_factory=client_factory,
+                                          api_key=api_key)
             self._endpoints.setdefault(endpoint.url, endpoint)
         if not self._endpoints:
             raise ClusterError("a cluster needs at least one worker "

@@ -96,6 +96,37 @@ class BackPressureError(ServiceError):
         self.capacity = capacity
 
 
+class AuthError(ServiceError):
+    """Raised when a request's API key resolves to no known tenant.
+
+    The ``X-Repro-Key`` header named a credential the server's
+    :class:`repro.tenancy.tenants.TenantRegistry` does not know.  Maps
+    to HTTP 401 on the wire.  Requests *without* a key are not an
+    error: they resolve to the registry's default (anonymous) tenant.
+    """
+
+
+class QuotaExceededError(BackPressureError):
+    """Raised when one tenant's queued-job quota rejects a submission.
+
+    The per-tenant twin of :class:`BackPressureError` (HTTP 429 on the
+    wire, not 503): the *server* has capacity, but this tenant already
+    has ``max_queued`` jobs waiting.  Other tenants keep submitting —
+    which is the point: one noisy tenant's flood back-pressures only
+    itself.
+
+    Attributes:
+        tenant: Name of the tenant whose quota rejected the push.
+        depth: The tenant's waiting-job count at rejection time.
+        capacity: The tenant's configured ``max_queued`` cap.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "",
+                 depth: int = 0, capacity: int = 0) -> None:
+        super().__init__(message, depth=depth, capacity=capacity)
+        self.tenant = tenant
+
+
 class ClusterError(ServiceError):
     """Raised when a multi-server sweep cannot be completed.
 

@@ -18,7 +18,8 @@ Examples::
         --grid 5 5 --export sweep.csv --cache-dir ~/.cache/repro
     python -m repro.experiments compile MODEXP --policy square --scale quick
     python -m repro.experiments serve --port 8731 --workers 4 \\
-        --queue-size 128 --cache-dir ~/.cache/repro
+        --queue-size 128 --cache-dir ~/.cache/repro \\
+        --tenants tenants.json --store-dir ~/.repro-jobs
     python -m repro.experiments cluster-sweep RD53 ADDER4 \\
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732 \\
         --policies lazy square --grid 5 5 --export cluster.csv
@@ -116,7 +117,7 @@ def _run_cluster_sweep(args: argparse.Namespace) -> tuple[str, list]:
         print(f"  [{index + 1}/{total}] {entry.job.program_label} / "
               f"{entry.job.policy_label}: {status}", flush=True)
 
-    coordinator = ClusterCoordinator(args.endpoint)
+    coordinator = ClusterCoordinator(args.endpoint, api_key=args.api_key)
     started = time.perf_counter()
     sweep = coordinator.run(spec, on_entry=progress)
     elapsed = time.perf_counter() - started
@@ -160,7 +161,7 @@ def _run_tune(args: argparse.Namespace) -> tuple[str, list]:
     if args.endpoint:
         from repro.cluster import ClusterCoordinator
 
-        backend = ClusterCoordinator(args.endpoint)
+        backend = ClusterCoordinator(args.endpoint, api_key=args.api_key)
         backend_label = f"{len(args.endpoint)}-worker cluster"
     else:
         backend = Session(jobs=args.jobs, cache_dir=args.cache_dir)
@@ -232,7 +233,8 @@ def _run_cluster_stats(args: argparse.Namespace) -> str:
     from repro.analysis.report import format_comparison
     from repro.cluster import ClusterTopology
 
-    stats = ClusterTopology(args.endpoint).fleet_stats()
+    stats = ClusterTopology(args.endpoint,
+                            api_key=args.api_key).fleet_stats()
     columns = ("worker", "up", "queue", "busy", "jobs_run", "failures",
                "cache_hits", "cache_misses", "disk_hits", "disk_entries",
                "evictions", "orphans")
@@ -361,6 +363,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-max-bytes", type=int, metavar="BYTES",
                         help="disk cache size cap; overflow evicts "
                              "least-recently-used results (`serve` only)")
+    parser.add_argument("--tenants", metavar="PATH",
+                        help="tenant registry JSON file (API keys, roles, "
+                             "quotas) for `serve`; keyless requests map to "
+                             "the anonymous tenant")
+    parser.add_argument("--store-dir", metavar="DIR",
+                        help="durable job-journal directory for `serve`; "
+                             "restarting on the same directory resumes "
+                             "queued work and re-serves finished results")
+    parser.add_argument("--burst-half-life", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fair-share burst-score half-life for `serve` "
+                             "(default 30; lower forgives floods faster)")
+    parser.add_argument("--api-key", metavar="KEY",
+                        help="tenant API key sent as X-Repro-Key by "
+                             "`cluster-sweep`, `cluster-stats` and `tune`")
     parser.add_argument("--endpoint", action="append", metavar="URL",
                         help="compile-server URL for `cluster-sweep`, "
                              "`cluster-stats` and `tune`; repeat for each "
@@ -397,10 +414,17 @@ def main(argv: list[str] | None = None) -> int:
                 or args.cache_max_bytes is not None:
             parser.error("--workers/--queue-size/--cache-max-bytes only "
                          "apply to `serve`")
-    if args.experiment not in ("cluster-sweep", "cluster-stats", "tune") \
-            and args.endpoint:
-        parser.error("--endpoint only applies to `cluster-sweep`, "
-                     "`cluster-stats` and `tune`")
+        if args.tenants or args.store_dir \
+                or args.burst_half_life is not None:
+            parser.error("--tenants/--store-dir/--burst-half-life only "
+                         "apply to `serve`")
+    if args.experiment not in ("cluster-sweep", "cluster-stats", "tune"):
+        if args.endpoint:
+            parser.error("--endpoint only applies to `cluster-sweep`, "
+                         "`cluster-stats` and `tune`")
+        if args.api_key:
+            parser.error("--api-key only applies to `cluster-sweep`, "
+                         "`cluster-stats` and `tune`")
     if args.experiment != "tune":
         for flag, given in (("--strategy", args.strategy != "halving"),
                             ("--trials", args.trials is not None),
@@ -472,7 +496,9 @@ def main(argv: list[str] | None = None) -> int:
         serve(args.host, args.port, jobs=args.jobs,
               cache_dir=args.cache_dir,
               cache_max_bytes=args.cache_max_bytes,
-              workers=args.workers, queue_size=args.queue_size)
+              workers=args.workers, queue_size=args.queue_size,
+              tenants=args.tenants, store_dir=args.store_dir,
+              burst_half_life=args.burst_half_life)
         return 0
 
     if args.experiment not in ("sweep", "compile"):

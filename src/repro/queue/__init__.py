@@ -11,13 +11,20 @@ requests.
   (QUEUED → RUNNING → DONE/FAILED/CANCELLED).
 * :mod:`repro.queue.queue` — :class:`JobQueue`, bounded and
   priority-aware, rejecting with
-  :class:`~repro.exceptions.BackPressureError` when full.
+  :class:`~repro.exceptions.BackPressureError` when full (and with
+  :class:`~repro.exceptions.QuotaExceededError` when one tenant's
+  ``max_queued`` cap is hit); an optional
+  :class:`~repro.tenancy.fairshare.FairShareScheduler` replaces raw
+  priority pops with fair-share composite scoring.
 * :mod:`repro.queue.workers` — :class:`WorkerPool` threads draining the
   queue with per-job failure isolation and graceful shutdown.
 * :mod:`repro.queue.manager` — :class:`JobManager` tying them together:
   submit/status/result/cancel/list plus retention-based GC and the
   per-entry progress stream (``record_entry``/``entries_since``) that
-  long-poll endpoints and cluster coordinators consume.
+  long-poll endpoints and cluster coordinators consume; hand it a
+  :class:`~repro.tenancy.store.JobStore` and every lifecycle event is
+  journaled and replayed on restart (QUEUED resumes, orphaned RUNNING
+  requeues, DONE serves byte-identically).
 
 :mod:`repro.service` mounts a :class:`JobManager` behind its HTTP
 endpoints (``/jobs``, ``/jobs/<id>``, ``/jobs/<id>/cancel``); the

@@ -66,6 +66,16 @@ class QueuedJob:
         submitted_at: Wall-clock submission time (``time.time()``).
         started_at: When a worker picked the job up, or None.
         finished_at: When the job reached a terminal state, or None.
+        tenant: The :class:`~repro.tenancy.tenants.Tenant` principal
+            the job was submitted as, or None (pre-tenancy callers);
+            drives per-tenant quotas and fair-share scheduling.
+        deadline_seconds: Optional client-declared time budget; the
+            fair-share scheduler raises a job's urgency as it burns
+            through it.
+        retries: Times the job has been requeued after being orphaned
+            RUNNING by a server crash (durable-store recovery).
+        enqueued_at: Scheduler-clock enqueue stamp (set by the queue
+            when a fair-share scheduler is installed); the age basis.
         response: The endpoint-shaped result payload once ``DONE``.
         error: Structured error record (``{"error_type", "message"}``
             shape, normally :meth:`~repro.core.result.JobFailure.to_dict`
@@ -84,6 +94,10 @@ class QueuedJob:
         self.payload = dict(payload)
         self.priority = priority
         self.state = QUEUED
+        self.tenant = None
+        self.deadline_seconds: Optional[float] = None
+        self.retries = 0
+        self.enqueued_at: Optional[float] = None
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -195,6 +209,8 @@ class QueuedJob:
             "kind": self.kind,
             "state": self.state,
             "priority": self.priority,
+            "tenant": self.tenant.name if self.tenant is not None else None,
+            "retries": self.retries,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -207,6 +223,43 @@ class QueuedJob:
         if self.error is not None:
             record["error"] = self.error
         return record
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(cls, record: Mapping[str, object]) -> "QueuedJob":
+        """Rebuild a job from a durable-store snapshot (recovery path).
+
+        The record is the :func:`repro.tenancy.store.job_snapshot`
+        shape.  State is restored *directly* (no lifecycle transitions
+        re-fire), timestamps/entries/response/error come back verbatim,
+        and the terminal event is pre-fired for already-finished jobs
+        so waiters never block on work that ended before the restart.
+        """
+        job = cls(str(record["job_id"]), str(record["kind"]),
+                  record.get("payload") or {},
+                  priority=int(record.get("priority", 0)))
+        tenant = record.get("tenant")
+        if isinstance(tenant, Mapping):
+            from repro.tenancy.tenants import Tenant
+
+            job.tenant = Tenant.from_dict(tenant)
+        job.deadline_seconds = record.get("deadline_seconds")
+        job.retries = int(record.get("retries", 0))
+        state = record.get("state", QUEUED)
+        if state not in _TRANSITIONS:
+            raise ServiceError(f"snapshot of {job.job_id} carries unknown "
+                               f"state {state!r}")
+        job.state = state
+        job.submitted_at = float(record.get("submitted_at",
+                                            job.submitted_at))
+        job.started_at = record.get("started_at")
+        job.finished_at = record.get("finished_at")
+        job.response = record.get("response")
+        job.error = record.get("error")
+        job.entries = [dict(entry) for entry in record.get("entries", [])]
+        if job.is_terminal:
+            job._done.set()
+        return job
 
     def __repr__(self) -> str:
         return (f"QueuedJob(id={self.job_id!r}, kind={self.kind!r}, "

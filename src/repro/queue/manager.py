@@ -16,9 +16,20 @@ the critical cancellation guarantee cheap to state: a job observed
 is discarded from the queue, so its payload *never runs*; once a worker
 has moved it to ``RUNNING`` the cancel is refused.
 
+Two optional collaborators extend the core for multi-tenant production
+use (see :mod:`repro.tenancy`):
+
+* a **scheduler** (:class:`~repro.tenancy.fairshare.FairShareScheduler`)
+  replaces raw priority-int pop order with a fair-share composite score;
+* a **store** (:class:`~repro.tenancy.store.JobStore`) journals every
+  accepted submission, lifecycle transition and streamed entry, and is
+  replayed at construction time: QUEUED jobs re-enqueue, orphaned
+  RUNNING jobs requeue (at most ``max_requeues`` times, then FAILED),
+  and terminal jobs are served byte-identically to before the restart.
+
 Finished records are kept for polling and then garbage-collected by a
-retention cap (oldest-finished first), so a long-lived server's job
-table cannot grow without bound.
+retention cap (oldest-finished first) — which also ``forget``s them
+from the store, so the journal's compacted size stays bounded too.
 """
 
 from __future__ import annotations
@@ -43,6 +54,10 @@ from repro.queue.jobs import (
 from repro.queue.queue import JobQueue
 from repro.queue.workers import WorkerPool
 
+#: Per-tenant lifecycle counter keys (the ``tenants`` stats section).
+_TENANT_COUNTERS = ("submitted", "completed", "failed", "cancelled",
+                    "rejected")
+
 
 class JobManager:
     """Owns the queue, the workers, and every job record's lifecycle.
@@ -58,54 +73,165 @@ class JobManager:
         retention: Maximum number of *finished* records kept for
             polling; the oldest-finished beyond it are dropped.
         name: Thread-name prefix for the pool.
+        scheduler: Optional fair-share scheduler installed on the queue
+            (see :class:`~repro.tenancy.fairshare.FairShareScheduler`).
+        store: Optional durable :class:`~repro.tenancy.store.JobStore`;
+            its journal is replayed *before* the worker pool starts, so
+            recovered QUEUED work is already waiting when workers spin
+            up.
+        max_requeues: How many times a job orphaned RUNNING by a crash
+            is requeued before being marked FAILED instead (guards
+            against a poison job crash-looping the server forever).
     """
 
     def __init__(self, runner: Callable[[QueuedJob], Dict[str, object]], *,
                  workers: int = 2, queue_size: int = 64,
-                 retention: int = 256, name: str = "repro") -> None:
+                 retention: int = 256, name: str = "repro",
+                 scheduler=None, store=None, max_requeues: int = 1) -> None:
         if retention < 0:
             raise ServiceError(f"retention must be >= 0, got {retention}")
+        if max_requeues < 0:
+            raise ServiceError(
+                f"max_requeues must be >= 0, got {max_requeues}")
         self._runner = runner
         self.retention = retention
+        self.max_requeues = max_requeues
+        self.scheduler = scheduler
+        self.store = store
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, QueuedJob]" = OrderedDict()
         self._ids = itertools.count(1)
-        self.queue = JobQueue(capacity=queue_size)
+        self.queue = JobQueue(capacity=queue_size, scheduler=scheduler)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
         self.gc_dropped = 0
         self.entries_recorded = 0
+        self.resumed_queued = 0
+        self.requeued_running = 0
+        self.recovered_terminal = 0
+        self.orphans_failed = 0
+        self._tenant_counters: Dict[str, Dict[str, int]] = {}
+        self._crashed = False
+        if store is not None:
+            self._recover()
         # Started last: workers may pop as soon as this line runs.
         self.pool = WorkerPool(self._run_job, self.queue, workers=workers,
                                name=name)
 
     # ------------------------------------------------------------------
+    # Durable-store recovery (constructor only, pre-pool)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the store's journal into the live job table.
+
+        Runs before the worker pool exists, so no lock is contended;
+        recovered QUEUED jobs are re-enqueued *without* a burst charge
+        (a restart's surviving backlog is not new demand), orphaned
+        RUNNING jobs requeue at most ``max_requeues`` times, and
+        terminal records come back verbatim — their journaled response
+        is what ``GET /jobs/<id>`` serves, byte-identical to pre-crash.
+        """
+        max_id = 0
+        for record in self.store.load():
+            job = QueuedJob.from_snapshot(record)
+            self._jobs[job.job_id] = job
+            suffix = job.job_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                max_id = max(max_id, int(suffix))
+            if job.is_terminal:
+                self.recovered_terminal += 1
+                continue
+            if job.state == RUNNING:
+                # Orphaned mid-run by the crash: the worker died with it.
+                if job.retries >= self.max_requeues:
+                    self._fail_orphan(job)
+                    continue
+                job.retries += 1
+                job.state = QUEUED
+                job.started_at = None
+                self.requeued_running += 1
+                self.store.record_transition(job)
+            else:
+                self.resumed_queued += 1
+            self.queue.push(job, record_burst=False)
+        if max_id:
+            self._ids = itertools.count(max_id + 1)
+
+    def _fail_orphan(self, job: QueuedJob) -> None:
+        """Mark a repeatedly-orphaned job FAILED instead of requeuing.
+
+        A job found RUNNING after ``max_requeues`` earlier recoveries is
+        treated as a poison payload: requeuing it again would just crash
+        the next server too.
+        """
+        failure = JobFailure(
+            program_name=job.kind,
+            machine_name="-",
+            policy_name="-",
+            error_type="ServiceError",
+            message=(f"job {job.job_id} was orphaned RUNNING by a server "
+                     f"restart {job.retries + 1} time(s); giving up after "
+                     f"{self.max_requeues} requeue(s)"),
+        )
+        job.error = failure.to_dict()
+        job.transition(FAILED)
+        self.orphans_failed += 1
+        self.store.record_transition(job)
+
+    # ------------------------------------------------------------------
     # Submission and lookup
     # ------------------------------------------------------------------
     def submit(self, kind: str, payload: Dict[str, object],
-               priority: int = 0) -> QueuedJob:
+               priority: int = 0, tenant=None,
+               deadline_seconds: Optional[float] = None) -> QueuedJob:
         """Register and enqueue one job; returns its ticket immediately.
 
+        Args:
+            kind: Work type (``"compile"`` or ``"sweep"``).
+            payload: The JSON-compatible work descriptor.
+            priority: Higher runs sooner (one input to the fair-share
+                score when a scheduler is installed).
+            tenant: The submitting
+                :class:`~repro.tenancy.tenants.Tenant`, or None for
+                pre-tenancy callers; drives quotas and fair share.
+            deadline_seconds: Optional client-declared time budget; the
+                scheduler raises urgency as the job burns through it.
+
         Raises:
+            QuotaExceededError: The tenant is at its ``max_queued`` cap.
             BackPressureError: The queue is full; nothing was registered.
             ServiceError: The manager is closed.
         """
         with self._lock:
             job = QueuedJob(f"job-{next(self._ids):06d}", kind, payload,
                             priority=priority)
+            job.tenant = tenant
+            job.deadline_seconds = deadline_seconds
             self._jobs[job.job_id] = job
             try:
                 self.queue.push(job)
             except ServiceError:
-                # Rejected (back-pressure or closed): the ticket never
-                # existed as far as clients are concerned.
+                # Rejected (back-pressure, quota, or closed): the ticket
+                # never existed as far as clients are concerned.
                 del self._jobs[job.job_id]
+                self._tenant_bump(tenant, "rejected")
                 raise
             self.submitted += 1
+            self._tenant_bump(tenant, "submitted")
+            if self.store is not None:
+                self.store.record_submit(job)
             self._gc_locked()
             return job
+
+    def _tenant_bump(self, tenant, key: str) -> None:
+        """Increment one per-tenant lifecycle counter (lock held)."""
+        if tenant is None:
+            return
+        bucket = self._tenant_counters.setdefault(
+            tenant.name, {counter: 0 for counter in _TENANT_COUNTERS})
+        bucket[key] += 1
 
     def get(self, job_id: str) -> QueuedJob:
         """The live record for ``job_id``.
@@ -182,11 +308,14 @@ class JobManager:
 
         Called by the runner (worker thread) as each sweep entry
         completes; long-pollers blocked in :meth:`entries_since` wake
-        immediately.
+        immediately.  The record is journaled too, so a restarted
+        server's entry cursors resume exactly where the stream stopped.
         """
         job.add_entry(record)
         with self._lock:
             self.entries_recorded += 1
+            if self.store is not None:
+                self.store.record_entry(job.job_id, record)
 
     def entries_since(self, job_id: str, since: int = 0,
                       timeout: Optional[float] = None) -> Dict[str, object]:
@@ -232,6 +361,9 @@ class JobManager:
             self.queue.discard(job_id)
             job.transition(CANCELLED)
             self.cancelled += 1
+            self._tenant_bump(job.tenant, "cancelled")
+            if self.store is not None:
+                self.store.record_transition(job)
             return job, True
 
     # ------------------------------------------------------------------
@@ -243,6 +375,8 @@ class JobManager:
             if job.state != QUEUED:
                 return  # lost the race against a cancel
             job.transition(RUNNING)
+            if self.store is not None:
+                self.store.record_transition(job)
         try:
             response = self._runner(job)
         except ReproError as error:
@@ -254,6 +388,9 @@ class JobManager:
                 job.response = response
                 job.transition(DONE)
                 self.completed += 1
+                self._tenant_bump(job.tenant, "completed")
+                if self.store is not None:
+                    self.store.record_transition(job)
 
     def _finish_failed(self, job: QueuedJob, error: BaseException) -> None:
         """Record a runner-raised error as a structured FAILED state.
@@ -280,6 +417,9 @@ class JobManager:
             job.exception = error
             job.transition(FAILED)
             self.failed += 1
+            self._tenant_bump(job.tenant, "failed")
+            if self.store is not None:
+                self.store.record_transition(job)
 
     def failure_exception(self, job: QueuedJob) -> Exception:
         """Rebuild the exception behind a FAILED job, preserving type."""
@@ -293,15 +433,21 @@ class JobManager:
     # Retention GC and shutdown
     # ------------------------------------------------------------------
     def _gc_locked(self) -> int:
-        """Drop oldest-finished records beyond ``retention`` (lock held)."""
+        """Drop oldest-finished records beyond ``retention`` (lock held).
+
+        Dropped ids are ``forget``-ten from the store too, so the
+        journal's live set — and therefore its compacted size — tracks
+        the retention cap instead of growing with server lifetime.
+        """
         finished = [job_id for job_id, job in self._jobs.items()
                     if job.is_terminal]
-        dropped = 0
-        for job_id in finished[:max(0, len(finished) - self.retention)]:
+        dropped_ids = finished[:max(0, len(finished) - self.retention)]
+        for job_id in dropped_ids:
             del self._jobs[job_id]
-            dropped += 1
-        self.gc_dropped += dropped
-        return dropped
+        self.gc_dropped += len(dropped_ids)
+        if dropped_ids and self.store is not None:
+            self.store.forget(dropped_ids)
+        return len(dropped_ids)
 
     def gc(self) -> int:
         """Apply the retention policy now; returns records dropped."""
@@ -318,13 +464,37 @@ class JobManager:
                 records marked CANCELLED.
             timeout: Per-thread join timeout.
         """
+        if self._crashed:
+            return True  # a "crashed" manager is already gone
         dropped = self.queue.close(drain=drain)
         with self._lock:
             for job in dropped:
                 if job.state == QUEUED:
                     job.transition(CANCELLED)
                     self.cancelled += 1
-        return self.pool.close(timeout)
+                    self._tenant_bump(job.tenant, "cancelled")
+                    if self.store is not None:
+                        self.store.record_transition(job)
+        joined = self.pool.close(timeout)
+        if self.store is not None:
+            self.store.close()
+        return joined
+
+    def crash(self) -> None:
+        """Simulate a process kill (test/demo seam — no real SIGKILL).
+
+        Ordering is the whole point: the store is frozen *first*, so
+        nothing that happens afterwards is journaled — exactly like a
+        process that died.  Queued jobs are dropped without CANCELLED
+        transitions (a crash cancels nothing; the journal still says
+        QUEUED, which is what recovery replays), and worker threads are
+        not joined (a busy "dead" worker finishing later mutates only
+        in-memory state that a real crash would have lost anyway).
+        """
+        self._crashed = True
+        if self.store is not None:
+            self.store.close()
+        self.queue.close(drain=False)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -334,6 +504,8 @@ class JobManager:
             for job in self._jobs.values():
                 states[job.state] += 1
             retained = len(self._jobs)
+            tenants = {name: dict(bucket)
+                       for name, bucket in self._tenant_counters.items()}
         stats = {
             "queue": self.queue.stats(),
             "pool": self.pool.stats(),
@@ -346,7 +518,19 @@ class JobManager:
             "gc_dropped": self.gc_dropped,
             "entries_recorded": self.entries_recorded,
             "states": states,
+            "tenants": tenants,
         }
+        if self.scheduler is not None:
+            stats["fair_share"] = self.scheduler.stats()
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+            stats["recovery"] = {
+                "resumed_queued": self.resumed_queued,
+                "requeued_running": self.requeued_running,
+                "recovered_terminal": self.recovered_terminal,
+                "orphans_failed": self.orphans_failed,
+                "max_requeues": self.max_requeues,
+            }
         return stats
 
     def __repr__(self) -> str:

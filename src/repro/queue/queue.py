@@ -3,9 +3,22 @@
 The queue is the service's pressure valve: submissions beyond
 ``capacity`` are rejected *immediately* with a structured
 :class:`~repro.exceptions.BackPressureError` (HTTP 503 on the wire)
-instead of letting an unbounded backlog eat the server.  Higher
-``priority`` jobs pop first; within a priority, submission order (FIFO)
-wins, so equal-priority work is fair.
+instead of letting an unbounded backlog eat the server.  On top of the
+global cap sit *per-tenant* quotas: a job whose tenant already has
+``max_queued`` jobs waiting is rejected with
+:class:`~repro.exceptions.QuotaExceededError` (HTTP 429) while every
+other tenant keeps submitting — one noisy tenant back-pressures only
+itself.
+
+Pop order has two modes:
+
+* **Raw priority** (default, no scheduler): higher ``priority`` pops
+  first; within a priority, submission order (FIFO) wins.
+* **Fair share** (a :class:`~repro.tenancy.fairshare.FairShareScheduler`
+  installed): the waiting job with the highest *composite* score pops —
+  role weight, queue age, deadline urgency, and the tenant's decaying
+  burst penalty all factor in, recomputed at every pop so the backlog
+  keeps reordering as bursts decay and jobs age.
 
 Workers block in :meth:`JobQueue.pop` until a job or shutdown arrives;
 :meth:`JobQueue.close` wakes every worker, and a closed, drained queue
@@ -17,9 +30,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.exceptions import BackPressureError, ServiceError
+from repro.exceptions import (
+    BackPressureError,
+    QuotaExceededError,
+    ServiceError,
+)
 from repro.queue.jobs import QueuedJob
 
 
@@ -29,31 +46,76 @@ class JobQueue:
     Args:
         capacity: Maximum number of waiting jobs; pushes beyond it raise
             :class:`~repro.exceptions.BackPressureError`.
+        scheduler: Optional fair-share scheduler; when present, pop
+            order follows its composite score instead of the raw
+            priority int, and pushes are charged to the submitting
+            tenant's burst score.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, scheduler=None) -> None:
         if capacity < 1:
             raise ServiceError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.scheduler = scheduler
         self._cond = threading.Condition()
         #: Heap of (-priority, sequence, job): max-priority, FIFO ties.
+        #: Under a scheduler the list is scanned (scored at pop time)
+        #: instead of heap-popped, but the invariant stays cheap to
+        #: keep, so switching modes never rebuilds anything.
         self._heap: List[Tuple[int, int, QueuedJob]] = []
         self._sequence = itertools.count()
         self._closed = False
+        self._tenant_depth: Dict[str, int] = {}
         self.pushed = 0
         self.rejected = 0
+        self.quota_rejected = 0
 
     # ------------------------------------------------------------------
-    def push(self, job: QueuedJob) -> int:
+    @staticmethod
+    def _tenant_name(job: QueuedJob) -> Optional[str]:
+        tenant = getattr(job, "tenant", None)
+        return tenant.name if tenant is not None else None
+
+    def _depth_add(self, job: QueuedJob, delta: int) -> None:
+        name = self._tenant_name(job)
+        if name is None:
+            return
+        depth = self._tenant_depth.get(name, 0) + delta
+        if depth > 0:
+            self._tenant_depth[name] = depth
+        else:
+            self._tenant_depth.pop(name, None)
+
+    def push(self, job: QueuedJob, record_burst: bool = True) -> int:
         """Enqueue a job; returns the queue depth after the push.
 
+        Args:
+            job: The record to enqueue.
+            record_burst: Charge the push to the tenant's burst score
+                (False on the store-recovery path — re-enqueuing a
+                restart's surviving backlog is not new demand).
+
         Raises:
-            BackPressureError: The queue is at capacity.
+            QuotaExceededError: The job's tenant is at its per-tenant
+                ``max_queued`` cap (other tenants are unaffected).
+            BackPressureError: The queue is at global capacity.
             ServiceError: The queue has been closed.
         """
         with self._cond:
             if self._closed:
                 raise ServiceError("job queue is closed; no new submissions")
+            tenant = getattr(job, "tenant", None)
+            if tenant is not None and tenant.max_queued is not None:
+                depth = self._tenant_depth.get(tenant.name, 0)
+                if depth >= tenant.max_queued:
+                    self.quota_rejected += 1
+                    raise QuotaExceededError(
+                        f"tenant {tenant.name!r} already has {depth}/"
+                        f"{tenant.max_queued} job(s) waiting; retry "
+                        f"after some finish",
+                        tenant=tenant.name, depth=depth,
+                        capacity=tenant.max_queued,
+                    )
             if len(self._heap) >= self.capacity:
                 self.rejected += 1
                 raise BackPressureError(
@@ -63,13 +125,31 @@ class JobQueue:
                 )
             heapq.heappush(self._heap,
                            (-job.priority, next(self._sequence), job))
+            self._depth_add(job, +1)
+            if self.scheduler is not None:
+                self.scheduler.on_push(job, record_burst)
             self.pushed += 1
             self._cond.notify()
             return len(self._heap)
 
-    def pop(self, timeout: Optional[float] = None) -> Optional[QueuedJob]:
-        """Dequeue the highest-priority job, blocking while empty.
+    def _pop_locked(self) -> QueuedJob:
+        """Remove and return the next job (lock held, heap non-empty)."""
+        if self.scheduler is None:
+            return heapq.heappop(self._heap)[2]
+        now = self.scheduler.clock()
+        best = max(range(len(self._heap)),
+                   key=lambda index: (
+                       self.scheduler.score(self._heap[index][2], now),
+                       -self._heap[index][1]))
+        job = self._heap.pop(best)[2]
+        heapq.heapify(self._heap)
+        return job
 
+    def pop(self, timeout: Optional[float] = None) -> Optional[QueuedJob]:
+        """Dequeue the best waiting job, blocking while empty.
+
+        "Best" is the highest raw priority (FIFO ties) without a
+        scheduler, or the highest fair-share composite score with one.
         Returns ``None`` when the queue is closed and drained (shutdown
         signal), or when ``timeout`` elapses with nothing to pop.
         """
@@ -78,7 +158,9 @@ class JobQueue:
                 if not self._cond.wait(timeout):
                     return None
             if self._heap:
-                return heapq.heappop(self._heap)[2]
+                job = self._pop_locked()
+                self._depth_add(job, -1)
+                return job
             return None  # closed and drained
 
     def discard(self, job_id: str) -> bool:
@@ -93,6 +175,7 @@ class JobQueue:
                 if job.job_id == job_id:
                     self._heap.pop(position)
                     heapq.heapify(self._heap)
+                    self._depth_add(job, -1)
                     return True
             return False
 
@@ -110,6 +193,7 @@ class JobQueue:
             if not drain:
                 dropped = [job for _, _, job in self._heap]
                 self._heap.clear()
+                self._tenant_depth.clear()
             self._cond.notify_all()
             return dropped
 
@@ -123,6 +207,11 @@ class JobQueue:
         with self._cond:
             return len(self._heap)
 
+    def tenant_depths(self) -> Dict[str, int]:
+        """Waiting-job count per tenant (tenants with jobs only)."""
+        with self._cond:
+            return dict(self._tenant_depth)
+
     def stats(self) -> dict:
         """JSON-compatible counters for service telemetry."""
         with self._cond:
@@ -131,6 +220,9 @@ class JobQueue:
                 "capacity": self.capacity,
                 "pushed": self.pushed,
                 "rejected": self.rejected,
+                "quota_rejected": self.quota_rejected,
+                "tenant_depths": dict(self._tenant_depth),
+                "fair_share": self.scheduler is not None,
                 "closed": self._closed,
             }
 

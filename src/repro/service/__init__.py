@@ -12,7 +12,11 @@ HTTP with results that survive restarts:
   :class:`~repro.queue.manager.JobManager` (bounded priority queue +
   worker pool) over one shared thread-safe memoizing session:
   synchronous ``/compile``/``/sweep``, asynchronous ``/jobs`` with
-  polling and cancellation, structured 503 back-pressure when full.
+  polling and cancellation, structured 503 back-pressure when full —
+  plus multi-tenancy (see :mod:`repro.tenancy`): ``X-Repro-Key``
+  authentication against a tenant registry, fair-share scheduling,
+  per-tenant 429 quotas, and an optional ``store_dir`` job journal
+  that survives restarts (QUEUED resumes, DONE serves byte-identically).
 * :class:`ServiceClient` — session-shaped client with both synchronous
   calls and the async ``submit_async``/``poll``/``wait_for``/``cancel``
   surface, plus ``iter_entries`` streaming a sweep's per-entry results

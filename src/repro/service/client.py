@@ -41,7 +41,13 @@ import urllib.error
 import urllib.request
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.exceptions import BackPressureError, ServiceError, UnknownJobError
+from repro.exceptions import (
+    AuthError,
+    BackPressureError,
+    QuotaExceededError,
+    ServiceError,
+    UnknownJobError,
+)
 from repro.api.job import CompileJob, MachineSpec
 from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.core.compiler import preset
@@ -63,14 +69,19 @@ class ServiceClient:
         retries: Connection-level retries for idempotent GET requests
             (POSTs are never retried — a submission must not double).
         backoff: Base delay between GET retries; doubles each attempt.
+        api_key: Tenant credential sent as the ``X-Repro-Key`` header on
+            every request; None (default) makes keyless requests, which
+            the server maps to its anonymous tenant.
     """
 
     def __init__(self, base_url: str, timeout: float = 300.0, *,
-                 retries: int = 3, backoff: float = 0.2) -> None:
+                 retries: int = 3, backoff: float = 0.2,
+                 api_key: Optional[str] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.api_key = api_key
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -78,6 +89,8 @@ class ServiceClient:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        if self.api_key:
+            headers["X-Repro-Key"] = self.api_key
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -147,10 +160,17 @@ class ServiceClient:
             pass
         suffix = f": {detail}" if detail else ""
         message = f"{path} failed with HTTP {error.code}{suffix}"
-        if record.get("type") == "BackPressureError":
-            rebuilt: ServiceError = BackPressureError(
+        if record.get("type") == "QuotaExceededError":
+            rebuilt: ServiceError = QuotaExceededError(
+                message, tenant=str(record.get("tenant", "")),
+                depth=int(record.get("depth", 0)),
+                capacity=int(record.get("capacity", 0)))
+        elif record.get("type") == "BackPressureError":
+            rebuilt = BackPressureError(
                 message, depth=int(record.get("depth", 0)),
                 capacity=int(record.get("capacity", 0)))
+        elif record.get("type") == "AuthError":
+            rebuilt = AuthError(message)
         elif record.get("type") == "UnknownJobError":
             rebuilt = UnknownJobError(message)
         else:
@@ -261,15 +281,20 @@ class ServiceClient:
     def submit_async(self,
                      work: Union[CompileJob, SweepSpec,
                                  Sequence[CompileJob], Mapping[str, object]],
-                     priority: int = 0) -> str:
+                     priority: int = 0,
+                     deadline_seconds: Optional[float] = None) -> str:
         """``POST /jobs``: enqueue work, return its ticket id at once.
 
         Accepts the same shapes as the synchronous surface — a
         :class:`CompileJob` (or raw descriptor), a :class:`SweepSpec`,
         or a job list.  The server replies before compiling anything;
         poll the returned id with :meth:`poll`/:meth:`wait_for`.
+        ``deadline_seconds`` declares a time budget the server's
+        fair-share scheduler treats as growing urgency.
 
         Raises:
+            QuotaExceededError: This client's tenant is at its
+                queued-job cap; other tenants are unaffected.
             BackPressureError: The server queue is full; retry later.
         """
         payload: Dict[str, object]
@@ -283,6 +308,8 @@ class ServiceClient:
             payload = {"jobs": [job.to_dict() for job in work]}
         if priority:
             payload["priority"] = priority
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
         response = self._post("/jobs", payload)
         job_id = response.get("job_id")
         if not isinstance(job_id, str):

@@ -41,6 +41,20 @@ Endpoints (all JSON):
 * ``POST /jobs/<id>/cancel``  — cancel; only QUEUED jobs cancel (a
   cancelled job never runs), later states are reported back unchanged.
 
+Multi-tenancy (see :mod:`repro.tenancy`): every request may carry an
+``X-Repro-Key`` header, resolved against the server's
+:class:`~repro.tenancy.tenants.TenantRegistry` (``--tenants`` file, the
+``REPRO_TENANTS`` env var, or programmatic).  Keyless requests map to
+the registry's default (anonymous) tenant, so pre-tenancy clients keep
+working unchanged; an *unknown* key is a 401.  Submissions run under
+fair-share scheduling (role weight + age + deadline urgency − decaying
+burst score), one tenant at its ``max_queued`` cap gets a 429
+(``QuotaExceededError``) while everyone else keeps submitting, and
+``/stats`` grows a per-tenant section.  With ``--store-dir`` every job
+lifecycle event is journaled to an append-only WAL and replayed on
+restart: QUEUED work resumes, orphaned RUNNING jobs requeue, finished
+results are served byte-identically.
+
 Start one from the CLI with ``python -m repro.experiments serve`` or
 programmatically with :func:`make_server`.
 """
@@ -55,7 +69,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import (
+    AuthError,
     BackPressureError,
+    QuotaExceededError,
     ReproError,
     ServiceError,
     UnknownJobError,
@@ -65,6 +81,13 @@ from repro.api.session import Session
 from repro.api.sweep import SweepResult, SweepSpec
 from repro.core.compiler import POLICY_PRESETS
 from repro.queue import DONE, FAILED, JobManager, QueuedJob
+from repro.tenancy import (
+    AUTH_HEADER,
+    DEFAULT_HALF_LIFE,
+    FairShareScheduler,
+    JsonlJobStore,
+    coerce_registry,
+)
 from repro.workloads.registry import SCALES, benchmark_names
 
 #: Default TCP port for the compilation service.
@@ -107,6 +130,15 @@ class CompilationService:
         workers: Worker *threads* draining the job queue.
         queue_size: Queue capacity; submissions beyond it get a 503.
         retention: Finished job records kept for polling before GC.
+        tenants: Tenant registry — a
+            :class:`~repro.tenancy.tenants.TenantRegistry`, a config
+            mapping, or a path to a registry JSON file; None builds an
+            anonymous-only registry (and honors ``REPRO_TENANTS``), so
+            keyless clients always work.
+        store_dir: Directory for the durable
+            :class:`~repro.tenancy.store.JsonlJobStore` job journal;
+            None keeps job state in memory only (pre-tenancy behavior).
+        burst_half_life: Fair-share burst-score half-life, seconds.
     """
 
     def __init__(self, session: Optional[Session] = None, *, jobs: int = 1,
@@ -114,7 +146,9 @@ class CompilationService:
                  cache_max_bytes: Optional[int] = None,
                  workers: int = DEFAULT_WORKERS,
                  queue_size: int = DEFAULT_QUEUE_SIZE,
-                 retention: int = 256) -> None:
+                 retention: int = 256,
+                 tenants=None, store_dir: Optional[str] = None,
+                 burst_half_life: float = DEFAULT_HALF_LIFE) -> None:
         if session is None:
             if cache_dir is not None:
                 from repro.service.cache import DiskCache
@@ -125,18 +159,42 @@ class CompilationService:
             else:
                 session = Session(jobs=jobs)
         self.session = session
+        self.tenants = coerce_registry(tenants)
+        self.scheduler = FairShareScheduler(half_life=burst_half_life)
+        self.store = JsonlJobStore(store_dir) if store_dir else None
         self.manager = JobManager(self._run_job, workers=workers,
                                   queue_size=queue_size,
-                                  retention=retention, name="repro-service")
+                                  retention=retention, name="repro-service",
+                                  scheduler=self.scheduler, store=self.store)
         self._counters = threading.Lock()
         self.started_at = time.time()
         self.requests = 0
         self.jobs_run = 0
         self.job_failures = 0
 
-    def close(self, drain: bool = False) -> None:
-        """Shut the queue and worker pool down (idempotent)."""
-        self.manager.close(drain=drain)
+    def close(self, drain: bool = False, hard: bool = False) -> None:
+        """Shut the queue and worker pool down (idempotent).
+
+        ``hard=True`` simulates a crash instead (test/demo seam): the
+        job journal freezes first and nothing is drained, cancelled or
+        joined — see :meth:`~repro.queue.manager.JobManager.crash`.
+        """
+        if hard:
+            self.manager.crash()
+        else:
+            self.manager.close(drain=drain)
+
+    # ------------------------------------------------------------------
+    # Authentication
+    # ------------------------------------------------------------------
+    def authenticate(self, api_key: Optional[str]):
+        """Resolve an ``X-Repro-Key`` header value to a Tenant.
+
+        A missing/empty key resolves to the registry's default
+        (anonymous) tenant; an unknown key raises
+        :class:`~repro.exceptions.AuthError` (401 on the wire).
+        """
+        return self.tenants.resolve(api_key)
 
     # ------------------------------------------------------------------
     # Request admission: validation + classification
@@ -148,8 +206,10 @@ class CompilationService:
     @staticmethod
     def _parse_submission(payload: Mapping[str, object],
                           kind: Optional[str] = None
-                          ) -> Tuple[str, Dict[str, object], int]:
-        """Validate a submission payload; returns (kind, work, priority).
+                          ) -> Tuple[str, Dict[str, object], int,
+                                     Optional[float]]:
+        """Validate a submission payload; returns
+        ``(kind, work, priority, deadline_seconds)``.
 
         Descriptors are fully parsed here so malformed requests fail
         fast with a 400 at submission time — never later inside a
@@ -160,6 +220,14 @@ class CompilationService:
         if isinstance(priority, bool) or not isinstance(priority, int):
             raise ServiceError(f"'priority' must be an integer, "
                                f"got {priority!r}")
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None:
+            if isinstance(deadline, bool) \
+                    or not isinstance(deadline, (int, float)) \
+                    or not deadline > 0:
+                raise ServiceError(f"'deadline_seconds' must be a positive "
+                                   f"number, got {deadline!r}")
+            deadline = float(deadline)
         declared = payload.get("kind")
         if declared is not None and declared not in ("compile", "sweep"):
             raise ServiceError(f"unknown job kind {declared!r}; "
@@ -186,14 +254,15 @@ class CompilationService:
             if not isinstance(descriptor, Mapping):
                 raise ServiceError("'job' must be a job descriptor object")
             descriptor = {key: value for key, value in descriptor.items()
-                          if key not in ("kind", "priority")}
+                          if key not in ("kind", "priority",
+                                         "deadline_seconds")}
             CompileJob.from_dict(descriptor)
             inferred, work = "compile", {"job": descriptor}
         if declared is not None and declared != inferred:
             raise ServiceError(
                 f"payload shape says kind={inferred!r} but the request "
                 f"declared kind={declared!r}")
-        return inferred, work, priority
+        return inferred, work, priority, deadline
 
     # ------------------------------------------------------------------
     # Worker side: executing queued payloads against the session
@@ -293,8 +362,12 @@ class CompilationService:
     # Synchronous endpoints (submit + wait over the async path)
     # ------------------------------------------------------------------
     def _submit_and_wait(self, kind: str, work: Dict[str, object],
-                         priority: int) -> Dict[str, object]:
-        ticket = self.manager.submit(kind, work, priority=priority)
+                         priority: int, tenant=None,
+                         deadline: Optional[float] = None
+                         ) -> Dict[str, object]:
+        ticket = self.manager.submit(kind, work, priority=priority,
+                                     tenant=tenant,
+                                     deadline_seconds=deadline)
         ticket.wait()
         if ticket.state == DONE:
             return ticket.response
@@ -304,7 +377,8 @@ class CompilationService:
             f"job {ticket.job_id} was cancelled before completing "
             f"(service shutting down?)")
 
-    def compile(self, payload: Mapping[str, object]) -> Dict[str, object]:
+    def compile(self, payload: Mapping[str, object],
+                tenant=None) -> Dict[str, object]:
         """Run one job descriptor synchronously; job-level failures ride
         inside the 200 response as structured error entries.
 
@@ -312,34 +386,41 @@ class CompilationService:
         descriptor or ``{"job": {...}}``.
         """
         self._count_request()
-        kind, work, priority = self._parse_submission(payload)
+        kind, work, priority, deadline = self._parse_submission(payload)
         if kind != "compile":
             raise ServiceError("/compile takes a single job descriptor; "
                                "POST sweeps to /sweep or /jobs")
-        return self._submit_and_wait(kind, work, priority)
+        return self._submit_and_wait(kind, work, priority,
+                                     tenant=tenant, deadline=deadline)
 
-    def sweep(self, payload: Mapping[str, object]) -> Dict[str, object]:
+    def sweep(self, payload: Mapping[str, object],
+              tenant=None) -> Dict[str, object]:
         """Run a sweep descriptor or explicit job list synchronously."""
         self._count_request()
         if "jobs" not in payload and "spec" not in payload:
             payload = {"spec": payload.get("spec", payload)}
-        kind, work, priority = self._parse_submission(payload)
-        return self._submit_and_wait(kind, work, priority)
+        kind, work, priority, deadline = self._parse_submission(payload)
+        return self._submit_and_wait(kind, work, priority,
+                                     tenant=tenant, deadline=deadline)
 
     # ------------------------------------------------------------------
     # Asynchronous endpoints
     # ------------------------------------------------------------------
-    def submit_job(self, payload: Mapping[str, object]) -> Dict[str, object]:
+    def submit_job(self, payload: Mapping[str, object],
+                   tenant=None) -> Dict[str, object]:
         """``POST /jobs``: validate, enqueue, return the ticket at once."""
         self._count_request()
-        kind, work, priority = self._parse_submission(payload)
-        ticket = self.manager.submit(kind, work, priority=priority)
+        kind, work, priority, deadline = self._parse_submission(payload)
+        ticket = self.manager.submit(kind, work, priority=priority,
+                                     tenant=tenant,
+                                     deadline_seconds=deadline)
         return {
             "ok": True,
             "job_id": ticket.job_id,
             "kind": ticket.kind,
             "state": ticket.state,
             "priority": ticket.priority,
+            "tenant": ticket.tenant.name if ticket.tenant else None,
             "queue_depth": len(self.manager.queue),
         }
 
@@ -377,6 +458,7 @@ class CompilationService:
                 "kind": job.kind,
                 "state": job.state,
                 "priority": job.priority,
+                "tenant": job.tenant.name if job.tenant else None,
                 "submitted_at": job.submitted_at,
             } for job in records],
         }
@@ -411,7 +493,23 @@ class CompilationService:
             "service": service,
             "queue": manager,
             "session": self.session.stats(),
+            "tenants": self._tenant_stats(manager),
         }
+
+    @staticmethod
+    def _tenant_stats(manager: Dict[str, object]) -> Dict[str, object]:
+        """Per-tenant ``/stats`` section: lifecycle counters joined with
+        the live queue depth and current (decayed) burst score."""
+        tenants: Dict[str, Dict[str, object]] = {
+            name: dict(counters)
+            for name, counters in manager.get("tenants", {}).items()}
+        for name, depth in manager["queue"].get("tenant_depths",
+                                                {}).items():
+            tenants.setdefault(name, {})["queued"] = depth
+        fair_share = manager.get("fair_share", {})
+        for name, score in fair_share.get("burst_scores", {}).items():
+            tenants.setdefault(name, {})["burst_score"] = score
+        return tenants
 
     def registry(self) -> Dict[str, object]:
         """What the service can compile: benchmarks, policies, machines."""
@@ -436,10 +534,11 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     Error mapping: malformed requests (bad JSON, bad descriptors, unknown
     benchmarks/policies — any :class:`~repro.exceptions.ReproError`) are
-    400s; unknown paths and job ids 404; a full queue 503 (with
-    ``depth``/``capacity`` in the error record); unexpected exceptions
-    500.  Job failures are *not* HTTP errors — they ride inside 200
-    responses as structured entries.
+    400s; an unknown ``X-Repro-Key`` 401; unknown paths and job ids 404;
+    a tenant at its queued-job quota 429 (with ``tenant``/``depth``/
+    ``capacity`` in the error record); a full queue 503 (with ``depth``/
+    ``capacity``); unexpected exceptions 500.  Job failures are *not*
+    HTTP errors — they ride inside 200 responses as structured entries.
     """
 
     server_version = "ReproCompilationService/2.0"
@@ -489,6 +588,8 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         if isinstance(error, BackPressureError):
             record["depth"] = error.depth
             record["capacity"] = error.capacity
+        if isinstance(error, QuotaExceededError):
+            record["tenant"] = error.tenant
         self._send_json(status, {"ok": False, "error": record})
 
     def _read_payload(self) -> Mapping[str, object]:
@@ -505,8 +606,12 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         return payload
 
     # ------------------------------------------------------------------
-    def _resolve(self, method: str, path: str, query: str):
-        """Map (method, path) to a zero-argument service call."""
+    def _resolve(self, method: str, path: str, query: str, tenant):
+        """Map (method, path) to a zero-argument service call.
+
+        ``tenant`` is the already-authenticated request principal; only
+        the submission endpoints consume it (reads are tenant-blind).
+        """
         service: CompilationService = self.server.service
         parts = [part for part in path.split("/") if part]
         if method == "GET":
@@ -534,11 +639,12 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                     timeout=self._query_float(params, "timeout"))
         else:
             if path == "/compile":
-                return lambda: service.compile(self._read_payload())
+                return lambda: service.compile(self._read_payload(), tenant)
             if path == "/sweep":
-                return lambda: service.sweep(self._read_payload())
+                return lambda: service.sweep(self._read_payload(), tenant)
             if path == "/jobs":
-                return lambda: service.submit_job(self._read_payload())
+                return lambda: service.submit_job(self._read_payload(),
+                                                  tenant)
             if len(parts) == 3 and parts[0] == "jobs" \
                     and parts[2] == "cancel":
                 return lambda: service.cancel_job(parts[1])
@@ -546,14 +652,20 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         path, _, query = self.path.partition("?")
-        call = self._resolve(method, path, query)
-        if call is None:
-            self._send_error_json(404, ServiceError(
-                f"unknown endpoint {method} {path!r}; "
-                f"available: {self._KNOWN}"))
-            return
         try:
+            service: CompilationService = self.server.service
+            tenant = service.authenticate(self.headers.get(AUTH_HEADER))
+            call = self._resolve(method, path, query, tenant)
+            if call is None:
+                self._send_error_json(404, ServiceError(
+                    f"unknown endpoint {method} {path!r}; "
+                    f"available: {self._KNOWN}"))
+                return
             response = call()
+        except AuthError as error:
+            self._send_error_json(401, error)
+        except QuotaExceededError as error:
+            self._send_error_json(429, error)
         except BackPressureError as error:
             self._send_error_json(503, error)
         except UnknownJobError as error:
@@ -601,6 +713,8 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                 cache_max_bytes: Optional[int] = None,
                 workers: int = DEFAULT_WORKERS,
                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                tenants=None, store_dir: Optional[str] = None,
+                burst_half_life: Optional[float] = None,
                 verbose: bool = False) -> CompilationHTTPServer:
     """Build a ready-to-serve compilation service HTTP server.
 
@@ -614,7 +728,10 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
     server.service = service or CompilationService(
         session=session, jobs=jobs, cache_dir=cache_dir,
         cache_max_bytes=cache_max_bytes,
-        workers=workers, queue_size=queue_size)
+        workers=workers, queue_size=queue_size,
+        tenants=tenants, store_dir=store_dir,
+        burst_half_life=(DEFAULT_HALF_LIFE if burst_half_life is None
+                         else burst_half_life))
     server.verbose = verbose
     return server
 
@@ -624,16 +741,21 @@ def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
           cache_max_bytes: Optional[int] = None,
           workers: int = DEFAULT_WORKERS,
           queue_size: int = DEFAULT_QUEUE_SIZE,
+          tenants=None, store_dir: Optional[str] = None,
+          burst_half_life: Optional[float] = None,
           verbose: bool = True) -> None:
     """Run the service in the foreground until interrupted (CLI helper)."""
     server = make_server(host, port, jobs=jobs, cache_dir=cache_dir,
                          cache_max_bytes=cache_max_bytes,
                          workers=workers, queue_size=queue_size,
+                         tenants=tenants, store_dir=store_dir,
+                         burst_half_life=burst_half_life,
                          verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro compilation service on http://{bound_host}:{bound_port} "
           f"(workers={workers}, queue_size={queue_size}, jobs={jobs}, "
-          f"cache_dir={cache_dir or 'none'}) — Ctrl-C to stop")
+          f"cache_dir={cache_dir or 'none'}, "
+          f"store_dir={store_dir or 'none'}) — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

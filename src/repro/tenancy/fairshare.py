@@ -1,0 +1,220 @@
+"""Fair-share scheduling: burst-score decay + composite pop priority.
+
+The pre-tenancy queue popped by raw priority int — one tenant
+submitting 500 jobs starved everyone behind it for the whole backlog.
+The :class:`FairShareScheduler` replaces that with a composite score,
+modeled on the mqc3-scheduler job manager's factor-weight design:
+
+``score(job) = priority·W_p + role_weight·W_r + age·W_a + urgency
+− burst·W_b``
+
+* **priority** — the client-supplied int, still honored (ties between
+  equally-situated tenants resolve exactly as before).
+* **role weight** — the tenant's :data:`~repro.tenancy.tenants.ROLE_WEIGHTS`
+  entry: admin work outranks standard outranks batch.
+* **age** — seconds since enqueue, so nothing starves forever.
+* **urgency** — grows as a job with a ``deadline_seconds`` budget burns
+  through it, up to ``urgency_weight`` at the deadline.
+* **burst** — the tenant's :class:`BurstScoreManager` score: every
+  submission adds its cost, and the sum decays exponentially with a
+  configurable half-life.  A tenant that just burst 500 jobs scores
+  ~500 lower than a quiet tenant's fresh submission — and, half-life by
+  half-life, decays back to parity instead of being punished forever.
+
+All time flows through one injectable ``clock`` (default
+``time.monotonic``), so fairness tests run on a deterministic fake
+clock with no sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ServiceError
+
+#: Default burst-score half-life, seconds.  After one half-life of
+#: silence a tenant's accumulated burst penalty halves.
+DEFAULT_HALF_LIFE = 30.0
+
+#: Burst contributions below this are treated as fully decayed, so the
+#: score table cannot grow one stale float per tenant forever.
+_BURST_EPSILON = 1e-9
+
+
+class BurstScoreManager:
+    """Per-tenant activity scores with exponential half-life decay.
+
+    Each recorded submission adds its ``cost`` to the tenant's score;
+    between observations the score decays by ``0.5 ** (dt / half_life)``.
+    The decay is applied lazily on read/write, so the manager is O(1)
+    per operation regardless of history length.
+    """
+
+    def __init__(self, half_life: float = DEFAULT_HALF_LIFE, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not half_life > 0:
+            raise ServiceError(f"burst half-life must be > 0, "
+                               f"got {half_life}")
+        self.half_life = half_life
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: tenant name -> (score at `at`, `at`).
+        self._scores: Dict[str, Tuple[float, float]] = {}
+        self.recorded = 0
+
+    def _decayed(self, tenant: str, now: float) -> float:
+        score, at = self._scores.get(tenant, (0.0, now))
+        if score <= 0.0:
+            return 0.0
+        return score * 0.5 ** (max(0.0, now - at) / self.half_life)
+
+    # ------------------------------------------------------------------
+    def record(self, tenant: str, cost: float = 1.0) -> float:
+        """Charge one submission (``cost`` ~ job count) to ``tenant``;
+        returns the tenant's new score."""
+        if cost < 0:
+            raise ServiceError(f"burst cost must be >= 0, got {cost}")
+        now = self._clock()
+        with self._lock:
+            score = self._decayed(tenant, now) + cost
+            self._scores[tenant] = (score, now)
+            self.recorded += 1
+            return score
+
+    def score(self, tenant: str) -> float:
+        """The tenant's current decayed score (0.0 when never seen)."""
+        now = self._clock()
+        with self._lock:
+            return self._decayed(tenant, now)
+
+    def scores(self) -> Dict[str, float]:
+        """Snapshot of every tracked tenant's current score, dropping
+        fully-decayed entries from the table as a side effect."""
+        now = self._clock()
+        with self._lock:
+            fresh = {tenant: self._decayed(tenant, now)
+                     for tenant in self._scores}
+            self._scores = {tenant: (score, now)
+                            for tenant, score in fresh.items()
+                            if score > _BURST_EPSILON}
+            return {tenant: score for tenant, score in fresh.items()
+                    if score > _BURST_EPSILON}
+
+    def __repr__(self) -> str:
+        return (f"BurstScoreManager(half_life={self.half_life}, "
+                f"tenants={len(self._scores)})")
+
+
+class FairShareScheduler:
+    """Composite pop-priority over queued jobs.
+
+    Plug one into a :class:`~repro.queue.queue.JobQueue` (via
+    :class:`~repro.queue.manager.JobManager`) and ``pop`` returns the
+    highest-*scoring* waiting job instead of the highest raw priority
+    int; scores are computed at pop time, so burst decay and aging keep
+    reordering the backlog while it waits.
+
+    Args:
+        half_life: Burst-score half-life, seconds (ignored when an
+            explicit ``burst`` manager is supplied).
+        priority_weight: Weight of the client-supplied priority int.
+        role_weight: Weight of the tenant's role weight.
+        age_weight: Score per second of queue residence (anti-
+            starvation; 0.01/s means ~100 s of waiting outranks one
+            priority point).
+        urgency_weight: Ceiling of the deadline-urgency term.
+        burst_weight: Weight of the decaying per-tenant burst penalty.
+        clock: Time source for age, urgency, and burst decay.
+        burst: Explicit :class:`BurstScoreManager` to share/observe.
+    """
+
+    def __init__(self, *, half_life: float = DEFAULT_HALF_LIFE,
+                 priority_weight: float = 1.0,
+                 role_weight: float = 1.0,
+                 age_weight: float = 0.01,
+                 urgency_weight: float = 2.0,
+                 burst_weight: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 burst: Optional[BurstScoreManager] = None) -> None:
+        self.priority_weight = priority_weight
+        self.role_weight = role_weight
+        self.age_weight = age_weight
+        self.urgency_weight = urgency_weight
+        self.burst_weight = burst_weight
+        self.clock = clock
+        self.burst = burst or BurstScoreManager(half_life, clock=clock)
+
+    # ------------------------------------------------------------------
+    def on_push(self, job, record_burst: bool = True) -> None:
+        """Queue hook: stamp the enqueue time and charge the burst.
+
+        ``record_burst=False`` is the store-recovery path — re-enqueuing
+        a restart's surviving backlog must not penalize its tenants as
+        if they had just submitted it all again.
+        """
+        job.enqueued_at = self.clock()
+        if record_burst:
+            self.burst.record(self._tenant_name(job), self._cost(job))
+
+    @staticmethod
+    def _tenant_name(job) -> str:
+        tenant = getattr(job, "tenant", None)
+        return tenant.name if tenant is not None else "anonymous"
+
+    @staticmethod
+    def _cost(job) -> float:
+        """Burst cost of one submission: the number of compile jobs it
+        expands to (a 500-entry sweep is 500 units of burst, not 1)."""
+        jobs = job.payload.get("jobs")
+        if isinstance(jobs, list) and jobs:
+            return float(len(jobs))
+        spec = job.payload.get("spec")
+        if isinstance(spec, dict):
+            benchmarks = spec.get("benchmarks") or [None]
+            machines = spec.get("machines") or [None]
+            policies = spec.get("policies") or [None]
+            scales = spec.get("scales") or [None]
+            return float(max(1, len(benchmarks) * len(machines)
+                             * len(policies) * len(scales)))
+        return 1.0
+
+    # ------------------------------------------------------------------
+    def score(self, job, now: Optional[float] = None) -> float:
+        """The job's composite pop priority; higher pops first."""
+        if now is None:
+            now = self.clock()
+        tenant = getattr(job, "tenant", None)
+        weight = tenant.role_weight if tenant is not None else 1.0
+        enqueued = getattr(job, "enqueued_at", None)
+        age = max(0.0, now - enqueued) if enqueued is not None else 0.0
+        score = (self.priority_weight * job.priority
+                 + self.role_weight * weight
+                 + self.age_weight * age)
+        deadline = getattr(job, "deadline_seconds", None)
+        if deadline:
+            score += self.urgency_weight * min(1.0, age / deadline)
+        score -= self.burst_weight * self.burst.score(
+            self._tenant_name(job))
+        return score
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-compatible knob + burst telemetry."""
+        return {
+            "half_life": self.burst.half_life,
+            "weights": {
+                "priority": self.priority_weight,
+                "role": self.role_weight,
+                "age": self.age_weight,
+                "urgency": self.urgency_weight,
+                "burst": self.burst_weight,
+            },
+            "burst_scores": {tenant: round(score, 6) for tenant, score
+                             in sorted(self.burst.scores().items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"FairShareScheduler(half_life={self.burst.half_life}, "
+                f"age_weight={self.age_weight}, "
+                f"burst_weight={self.burst_weight})")

@@ -1,0 +1,280 @@
+"""Principals: tenants, roles, API keys, and the registry resolving them.
+
+Every request to the compilation service runs on behalf of a
+:class:`Tenant` — a named principal with a role (which sets its
+fair-share weight), an optional API key, and optional quota caps.  The
+:class:`TenantRegistry` is the authentication seam: it maps the
+``X-Repro-Key`` request header to a tenant record, mapping a *missing*
+key to a configurable default tenant so anonymous clients keep working
+exactly as before multi-tenancy existed.
+
+Registries load from a plain JSON document (file, dict, or the
+``REPRO_TENANTS`` environment variable)::
+
+    {
+      "default": {"name": "anonymous", "role": "standard"},
+      "tenants": [
+        {"name": "alice", "role": "admin",    "api_key": "ak-alice",
+         "max_queued": 64},
+        {"name": "bulk",  "role": "batch",    "api_key": "ak-bulk",
+         "max_queued": 8}
+      ]
+    }
+
+API keys are opaque strings; the registry never logs or serializes them
+back out (``to_dict`` redacts), so a ``/stats`` payload cannot leak
+credentials.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.exceptions import AuthError, ServiceError
+
+#: Request header carrying the API key.
+AUTH_HEADER = "X-Repro-Key"
+
+#: Role name -> fair-share weight.  A higher weight pops sooner under
+#: the fair-share scheduler; ``batch`` work yields to interactive roles.
+ROLE_WEIGHTS: Dict[str, float] = {
+    "admin": 4.0,
+    "standard": 1.0,
+    "batch": 0.25,
+}
+
+DEFAULT_ROLE = "standard"
+
+#: Name of the built-in principal keyless requests resolve to.
+ANONYMOUS = "anonymous"
+
+#: Environment variable ``TenantRegistry.from_env`` reads: either a path
+#: to a registry JSON file or the JSON document itself.
+TENANTS_ENV = "REPRO_TENANTS"
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One principal: identity, role, and quota caps.
+
+    Attributes:
+        name: Stable identity; the key for burst scores, per-tenant
+            queue depth, and telemetry.
+        role: One of :data:`ROLE_WEIGHTS`; sets the fair-share weight.
+        api_key: Credential resolving to this tenant, or None for the
+            keyless default tenant.
+        max_queued: Per-tenant cap on *waiting* jobs; submissions beyond
+            it are rejected with a structured 429
+            (:class:`~repro.exceptions.QuotaExceededError`) while other
+            tenants keep submitting.  None means no per-tenant cap
+            (the global queue capacity still applies).
+    """
+
+    name: str
+    role: str = DEFAULT_ROLE
+    api_key: Optional[str] = field(default=None, repr=False)
+    max_queued: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ServiceError(f"tenant name must be a non-empty string, "
+                               f"got {self.name!r}")
+        if self.role not in ROLE_WEIGHTS:
+            raise ServiceError(
+                f"tenant {self.name!r} has unknown role {self.role!r}; "
+                f"expected one of {sorted(ROLE_WEIGHTS)}")
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ServiceError(
+                f"tenant {self.name!r} max_queued must be >= 1, "
+                f"got {self.max_queued}")
+
+    @property
+    def role_weight(self) -> float:
+        """Fair-share weight of this tenant's role."""
+        return ROLE_WEIGHTS[self.role]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible record; the API key is deliberately redacted
+        so telemetry and journals never leak credentials."""
+        return {
+            "name": self.name,
+            "role": self.role,
+            "max_queued": self.max_queued,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "Tenant":
+        """Rebuild a tenant from a registry/journal record."""
+        if not isinstance(record, Mapping):
+            raise ServiceError(f"tenant record must be an object, "
+                               f"got {record!r}")
+        unknown = set(record) - {"name", "role", "api_key", "max_queued"}
+        if unknown:
+            raise ServiceError(
+                f"tenant record has unknown field(s) {sorted(unknown)}; "
+                f"expected name/role/api_key/max_queued")
+        return cls(
+            name=str(record.get("name", "")),
+            role=str(record.get("role", DEFAULT_ROLE)),
+            api_key=record.get("api_key"),
+            max_queued=record.get("max_queued"),
+        )
+
+
+class TenantRegistry:
+    """Maps API keys to tenants; the service's authentication seam.
+
+    Args:
+        tenants: Keyed :class:`Tenant` records.  Every entry needs an
+            ``api_key`` (the keyless principal is the ``default``);
+            names and keys must be unique.
+        default: The tenant keyless requests resolve to; defaults to an
+            uncapped ``standard``-role tenant named
+            ``"anonymous"``, so pre-tenancy clients work unchanged.
+    """
+
+    def __init__(self, tenants: Sequence[Tenant] = (), *,
+                 default: Optional[Tenant] = None) -> None:
+        self.default = default or Tenant(ANONYMOUS)
+        self._by_key: Dict[str, Tenant] = {}
+        self._by_name: Dict[str, Tenant] = {self.default.name: self.default}
+        for tenant in tenants:
+            if tenant.api_key is None:
+                raise ServiceError(
+                    f"tenant {tenant.name!r} has no api_key; only the "
+                    f"default tenant may be keyless")
+            if tenant.name in self._by_name:
+                raise ServiceError(
+                    f"duplicate tenant name {tenant.name!r} in registry")
+            if tenant.api_key in self._by_key:
+                raise ServiceError(
+                    f"tenant {tenant.name!r} reuses another tenant's "
+                    f"api_key")
+            self._by_key[tenant.api_key] = tenant
+            self._by_name[tenant.name] = tenant
+
+    # ------------------------------------------------------------------
+    def resolve(self, api_key: Optional[str]) -> Tenant:
+        """The principal behind an ``X-Repro-Key`` header value.
+
+        A missing/empty key resolves to the default tenant (anonymous
+        clients keep working); a key that matches no registered tenant
+        raises :class:`~repro.exceptions.AuthError` (HTTP 401).
+        """
+        if not api_key:
+            return self.default
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise AuthError(
+                f"unknown API key (header {AUTH_HEADER}); "
+                f"{len(self._by_key)} tenant key(s) registered")
+        return tenant
+
+    def get(self, name: str) -> Optional[Tenant]:
+        """The tenant registered under ``name``, or None.
+
+        Used by job-store recovery to re-attach restored jobs to their
+        live registry records (falling back to the journaled snapshot
+        when a tenant was removed between restarts).
+        """
+        return self._by_name.get(name)
+
+    def names(self) -> List[str]:
+        """Registered tenant names, default first."""
+        return list(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._by_name.values())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible summary with API keys redacted."""
+        return {
+            "default": self.default.to_dict(),
+            "tenants": [tenant.to_dict() for tenant in self
+                        if tenant is not self.default],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TenantRegistry":
+        """Build a registry from the documented JSON shape."""
+        if not isinstance(payload, Mapping):
+            raise ServiceError("tenant registry must be a JSON object with "
+                               "a 'tenants' list")
+        unknown = set(payload) - {"tenants", "default"}
+        if unknown:
+            raise ServiceError(
+                f"tenant registry has unknown field(s) {sorted(unknown)}; "
+                f"expected 'tenants' and optional 'default'")
+        records = payload.get("tenants", [])
+        if not isinstance(records, list):
+            raise ServiceError("'tenants' must be a list of tenant records")
+        default = None
+        if payload.get("default") is not None:
+            default = Tenant.from_dict(payload["default"])
+        return cls([Tenant.from_dict(record) for record in records],
+                   default=default)
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantRegistry":
+        """Load a registry from a JSON file (the ``--tenants`` flag)."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except OSError as error:
+            raise ServiceError(f"cannot read tenant registry {path!r}: "
+                               f"{error}") from None
+        except ValueError as error:
+            raise ServiceError(f"tenant registry {path!r} is not valid "
+                               f"JSON: {error}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_env(cls, variable: str = TENANTS_ENV) -> "TenantRegistry":
+        """Load from ``$REPRO_TENANTS``: a file path or inline JSON.
+
+        An unset/empty variable yields the default (anonymous-only)
+        registry.
+        """
+        value = os.environ.get(variable, "").strip()
+        if not value:
+            return cls()
+        if value.lstrip().startswith("{"):
+            try:
+                payload = json.loads(value)
+            except ValueError as error:
+                raise ServiceError(
+                    f"${variable} looks like inline JSON but does not "
+                    f"parse: {error}") from None
+            return cls.from_dict(payload)
+        return cls.from_file(value)
+
+    def __repr__(self) -> str:
+        return (f"TenantRegistry(tenants={len(self._by_key)}, "
+                f"default={self.default.name!r})")
+
+
+def coerce_registry(tenants) -> TenantRegistry:
+    """Normalize the service-facing ``tenants=`` argument.
+
+    Accepts a ready :class:`TenantRegistry`, a registry-shaped mapping,
+    a path to a JSON file, or None — which falls back to
+    ``$REPRO_TENANTS`` (path or inline JSON), yielding the anonymous-only
+    registry when that is unset.
+    """
+    if tenants is None:
+        return TenantRegistry.from_env()
+    if isinstance(tenants, TenantRegistry):
+        return tenants
+    if isinstance(tenants, Mapping):
+        return TenantRegistry.from_dict(tenants)
+    if isinstance(tenants, (str, os.PathLike)):
+        return TenantRegistry.from_file(os.fspath(tenants))
+    raise ServiceError(f"tenants must be a TenantRegistry, mapping, or "
+                       f"path, got {type(tenants).__name__}")

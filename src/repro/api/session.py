@@ -83,11 +83,19 @@ class Session:
             when True, a job that raises a library error yields a
             :class:`~repro.core.result.JobFailure` entry instead of
             killing its batch (the mode the network service runs in).
+        verify: When True, run the static compilation verifier
+            (:func:`repro.verify.verify_result`) over every successful
+            result as a post-pass and attach the
+            :class:`~repro.verify.diagnostics.VerificationReport` to the
+            sweep entry.  Reports are memoized per job fingerprint, so
+            cache hits re-attach the existing report instead of
+            re-checking.
     """
 
     def __init__(self, executor=None, jobs: int = 1, *,
                  disk_cache=None, cache_dir: Optional[str] = None,
-                 isolate_failures: bool = False) -> None:
+                 isolate_failures: bool = False,
+                 verify: bool = False) -> None:
         if executor is None:
             executor = SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs)
         if disk_cache is not None and cache_dir is not None:
@@ -102,12 +110,16 @@ class Session:
         self.executor = executor
         self.disk_cache = disk_cache
         self.isolate_failures = isolate_failures
+        self.verify = verify
         self._cache: Dict[str, CompilationResult] = {}
+        self._verify_cache: Dict[str, object] = {}
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Flight] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.disk_hits = 0
+        self.verified_results = 0
+        self.verify_findings = 0
 
     # ------------------------------------------------------------------
     def run(self, work: Union[SweepSpec, Sequence[CompileJob]], *,
@@ -247,7 +259,39 @@ class Session:
                                               result=resolved[fingerprint],
                                               cached=cached,
                                               disk_hit=disk_hit))
+        if self.verify:
+            entries = self._verify_entries(entries)
         return SweepResult(entries)
+
+    def _verify_entries(self,
+                        entries: List[SweepEntry]) -> List[SweepEntry]:
+        """Attach static-verifier reports to every successful entry.
+
+        Runs outside the session lock (verification is read-only over
+        immutable results); the per-fingerprint report memo is guarded
+        like the result cache so concurrent batches verify a fingerprint
+        at most once in the common case.
+        """
+        from dataclasses import replace as replace_entry
+
+        from repro.verify import verify_result
+
+        verified: List[SweepEntry] = []
+        for entry in entries:
+            if entry.result is None:
+                verified.append(entry)
+                continue
+            fingerprint = entry.job.fingerprint()
+            with self._lock:
+                report = self._verify_cache.get(fingerprint)
+            if report is None:
+                report = verify_result(entry.result)
+                with self._lock:
+                    self._verify_cache[fingerprint] = report
+                    self.verified_results += 1
+                    self.verify_findings += len(report.findings)
+            verified.append(replace_entry(entry, verification=report))
+        return verified
 
     def _settle(self, fingerprint: str, outcome) -> None:
         """Publish an owned fingerprint's outcome and wake its waiters.
@@ -358,6 +402,11 @@ class Session:
             "cache_misses": self.cache_misses,
             "disk_hits": self.disk_hits,
         }
+        if self.verify:
+            stats["verify"] = {
+                "verified_results": self.verified_results,
+                "findings": self.verify_findings,
+            }
         if self.disk_cache is not None:
             stats["disk_cache"] = self.disk_cache.stats()
         return stats

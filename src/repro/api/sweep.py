@@ -10,7 +10,19 @@ export — the shape every experiment module and the CLI share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.verify.diagnostics import VerificationReport
 
 from repro.exceptions import ExperimentError
 from repro.api.job import (
@@ -191,6 +203,10 @@ class SweepEntry:
         disk_hit: True when the result was restored from the session's
             persistent disk tier during this run (a subset of
             ``cached``); False for pure memory hits and fresh compiles.
+        verification: Static-verifier report for the result when the
+            session ran with ``verify=True``
+            (a :class:`~repro.verify.diagnostics.VerificationReport`);
+            None when verification was off or the job failed.
     """
 
     job: CompileJob
@@ -198,6 +214,7 @@ class SweepEntry:
     error: Optional[JobFailure] = None
     cached: bool = False
     disk_hit: bool = False
+    verification: Optional["VerificationReport"] = None
 
     def __post_init__(self) -> None:
         if (self.result is None) == (self.error is None):
@@ -231,6 +248,13 @@ class SweepEntry:
         summary = self.result.summary()
         for key in ROW_METRIC_KEYS:
             row[key] = summary[key]
+        if self.verification is not None:
+            if self.verification.findings:
+                rules = ",".join(self.verification.rules_violated())
+                row["verify"] = (f"{len(self.verification.findings)} "
+                                 f"finding(s) [{rules}]")
+            else:
+                row["verify"] = "ok"
         return row
 
 
@@ -266,6 +290,16 @@ class SweepResult:
     def failures(self) -> List[SweepEntry]:
         """The entries whose jobs failed, in job-submission order."""
         return [entry for entry in self.entries if not entry.ok]
+
+    def verification_failures(self) -> List[SweepEntry]:
+        """Entries whose attached verification report has findings.
+
+        Empty both when every verified entry is clean and when the sweep
+        ran without verification (no reports attached at all).
+        """
+        return [entry for entry in self.entries
+                if entry.verification is not None
+                and entry.verification.findings]
 
     @property
     def ok(self) -> bool:
@@ -357,9 +391,10 @@ class SweepResult:
         export and table rendering.
         """
         rows = [entry.row() for entry in self.entries]
-        if any("error" in row for row in rows):
-            for row in rows:
-                row.setdefault("error", "")
+        for column in ("verify", "error"):
+            if any(column in row for row in rows):
+                for row in rows:
+                    row.setdefault(column, "")
         return rows
 
     def table(self, title: Optional[str] = None) -> str:

@@ -299,6 +299,12 @@ class ClusterCoordinator:
         credit duplicate jobs as cache hits, exactly like a session).
         """
         if record.get("ok"):
+            verification = None
+            if record.get("verification") is not None:
+                from repro.verify import VerificationReport
+
+                verification = VerificationReport.from_dict(
+                    record["verification"])
             return SweepEntry(
                 job=job,
                 result=CompilationResult.from_dict(record["result"]),
@@ -306,6 +312,7 @@ class ClusterCoordinator:
                 if cached is None else cached,
                 disk_hit=bool(record.get("disk_hit", False))
                 if cached is None else False,
+                verification=verification,
             )
         return SweepEntry(
             job=job,

@@ -70,7 +70,7 @@ class WorkerEndpoint:
     def probe(self) -> bool:
         """One ``GET /health`` round trip; updates and returns liveness."""
         self.probes += 1
-        self.last_probe_at = time.time()
+        self.last_probe_at = time.time()  # lint: wall-clock (telemetry)
         try:
             payload = self.client.health()
         except ServiceError as error:

@@ -275,6 +275,38 @@ def _run_cluster_stats(args: argparse.Namespace) -> str:
     return text
 
 
+def _run_verify(session: Session,
+                args: argparse.Namespace) -> tuple[str, list, int]:
+    """Compile and statically verify; non-zero exit on any finding."""
+    benchmarks = tuple(args.names) or tuple(benchmark_names())
+    # Gate-stream rules (RV001-RV003) need the recorded schedule; force
+    # it on so `verify` never silently runs at reduced coverage.
+    spec = SweepSpec(
+        benchmarks=benchmarks,
+        machines=(_machine_spec(args),),
+        policies=tuple(args.policies or DEFAULT_POLICIES),
+        scales=(args.scale,),
+    ).with_config(record_schedule=True)
+    started = time.perf_counter()
+    sweep = session.run(spec)
+    elapsed = time.perf_counter() - started
+    bad = sweep.verification_failures()
+    title = (f"Verify: {len(benchmarks)} benchmark(s) x "
+             f"{len(spec.policies)} policy(ies) at scale {args.scale}")
+    text = sweep.table(title)
+    for entry in bad:
+        text += f"\n{entry.verification.summary()}\n"
+        for diagnostic in entry.verification.findings:
+            text += f"  {diagnostic.describe()}\n"
+    checked = sum(entry.verification.checked_gates for entry in sweep
+                  if entry.verification is not None)
+    findings = sum(len(entry.verification.findings) for entry in bad)
+    text += (f"\n[{len(sweep)} result(s) verified in {elapsed:.1f}s: "
+             f"{checked} gates checked, {findings} finding(s)"
+             f"{_cache_note(session)}]\n")
+    return text, sweep.rows(), 1 if bad else 0
+
+
 def _run_compile(session: Session, args: argparse.Namespace) -> tuple[str, list]:
     if not args.names:
         raise SystemExit("compile needs a benchmark name, e.g. "
@@ -314,19 +346,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
-                                                       "compile", "serve",
+                                                       "compile", "verify",
+                                                       "serve",
                                                        "cluster-sweep",
                                                        "tune",
                                                        "cluster-stats"],
                         help="which table/figure to regenerate, `sweep` / "
-                             "`compile` for ad-hoc jobs, `serve` to expose "
-                             "the session over HTTP, `cluster-sweep` to "
-                             "shard a sweep across running servers, `tune` "
-                             "to auto-search the policy space, or "
+                             "`compile` for ad-hoc jobs, `verify` to "
+                             "compile and statically check results "
+                             "(non-zero exit on findings), `serve` to "
+                             "expose the session over HTTP, `cluster-sweep` "
+                             "to shard a sweep across running servers, "
+                             "`tune` to auto-search the policy space, or "
                              "`cluster-stats` to aggregate fleet telemetry")
     parser.add_argument("names", nargs="*",
-                        help="benchmark names for `sweep` (default: all) "
-                             "and `compile`")
+                        help="benchmark names for `sweep`/`verify` "
+                             "(default: all) and `compile`")
     parser.add_argument("--scale", default="laptop", choices=list(SCALES),
                         help="benchmark size scale for the large benchmarks")
     parser.add_argument("--shots", type=int, default=2048,
@@ -375,6 +410,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="fair-share burst-score half-life for `serve` "
                              "(default 30; lower forgives floods faster)")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the static compilation verifier over "
+                             "every result (`serve` only; job payloads "
+                             "carry the verification report)")
     parser.add_argument("--api-key", metavar="KEY",
                         help="tenant API key sent as X-Repro-Key by "
                              "`cluster-sweep`, `cluster-stats` and `tune`")
@@ -418,6 +457,9 @@ def main(argv: list[str] | None = None) -> int:
                 or args.burst_half_life is not None:
             parser.error("--tenants/--store-dir/--burst-half-life only "
                          "apply to `serve`")
+        if args.verify:
+            parser.error("--verify only applies to `serve`; use the "
+                         "`verify` command for local sweeps")
     if args.experiment not in ("cluster-sweep", "cluster-stats", "tune"):
         if args.endpoint:
             parser.error("--endpoint only applies to `cluster-sweep`, "
@@ -498,10 +540,11 @@ def main(argv: list[str] | None = None) -> int:
               cache_max_bytes=args.cache_max_bytes,
               workers=args.workers, queue_size=args.queue_size,
               tenants=args.tenants, store_dir=args.store_dir,
-              burst_half_life=args.burst_half_life)
+              burst_half_life=args.burst_half_life,
+              verify=args.verify)
         return 0
 
-    if args.experiment not in ("sweep", "compile"):
+    if args.experiment not in ("sweep", "compile", "verify"):
         ignored = []
         if args.names:
             ignored.append("benchmark names")
@@ -517,15 +560,21 @@ def main(argv: list[str] | None = None) -> int:
             ignored.append("--start-qubits")
         if ignored:
             parser.error(
-                f"{', '.join(ignored)} only apply to `sweep` and `compile`; "
-                f"{args.experiment!r} runs its fixed benchmark/policy/machine "
-                f"grid"
+                f"{', '.join(ignored)} only apply to `sweep`, `compile` "
+                f"and `verify`; {args.experiment!r} runs its fixed "
+                f"benchmark/policy/machine grid"
             )
 
-    session = Session(jobs=args.jobs, cache_dir=args.cache_dir)
+    session = Session(jobs=args.jobs, cache_dir=args.cache_dir,
+                      verify=(args.experiment == "verify"))
     exported_rows: list = []
+    exit_code = 0
     if args.experiment == "sweep":
         text, rows = _run_sweep(session, args)
+        print(text)
+        exported_rows = rows
+    elif args.experiment == "verify":
+        text, rows, exit_code = _run_verify(session, args)
         print(text)
         exported_rows = rows
     elif args.experiment == "compile":
@@ -545,7 +594,7 @@ def main(argv: list[str] | None = None) -> int:
 
         export_rows(exported_rows, path=args.export)
         print(f"[exported {len(exported_rows)} rows to {args.export}]")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

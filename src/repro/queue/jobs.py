@@ -98,7 +98,7 @@ class QueuedJob:
         self.deadline_seconds: Optional[float] = None
         self.retries = 0
         self.enqueued_at: Optional[float] = None
-        self.submitted_at = time.time()
+        self.submitted_at = time.time()  # lint: wall-clock (wire timestamp)
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.response: Optional[Dict[str, object]] = None
@@ -186,7 +186,7 @@ class QueuedJob:
             raise ServiceError(
                 f"job {self.job_id} cannot move {self.state} -> {state}")
         self.state = state
-        now = time.time()
+        now = time.time()  # lint: wall-clock (journaled timestamps)
         if state == RUNNING:
             self.started_at = now
         if state in TERMINAL_STATES:

@@ -125,7 +125,8 @@ class DiskCache:
                 raise ValueError("index is stale")
             return entries
         except (OSError, ValueError, KeyError, TypeError):
-            self._index_dirty = True
+            # Constructor path: the cache is not shared yet.
+            self._index_dirty = True  # lint: unlocked
             return self._rebuild_index()
 
     def _rebuild_index(self) -> Dict[str, Dict[str, object]]:
@@ -313,9 +314,9 @@ class DiskCache:
                 continue
             total -= size
             self._index.pop(path.stem, None)
-            self._index_dirty = True
+            self._index_dirty = True  # lint: unlocked (caller holds lock)
             self.evictions += 1
-        self._bytes = total
+        self._bytes = total  # lint: unlocked (caller holds lock)
 
     def flush_index(self) -> None:
         """Persist pending index updates (cheap no-op when clean).
@@ -383,7 +384,8 @@ class DiskCache:
         only costs a recompile.
         """
         removed = 0
-        cutoff = time.time() - max(0.0, min_age_seconds)
+        # Compared against st_mtime, which is wall-clock by definition.
+        cutoff = time.time() - max(0.0, min_age_seconds)  # lint: wall-clock
         with self._lock:
             with self._index_file_lock():
                 self._merge_foreign_entries()

@@ -260,11 +260,18 @@ class ServiceClient:
         entries: List[SweepEntry] = []
         for job, record in zip(jobs, records):
             if record.get("ok"):
+                verification = None
+                if record.get("verification") is not None:
+                    from repro.verify import VerificationReport
+
+                    verification = VerificationReport.from_dict(
+                        record["verification"])
                 entries.append(SweepEntry(
                     job=job,
                     result=CompilationResult.from_dict(record["result"]),
                     cached=bool(record.get("cached", False)),
                     disk_hit=bool(record.get("disk_hit", False)),
+                    verification=verification,
                 ))
             else:
                 entries.append(SweepEntry(

@@ -139,6 +139,11 @@ class CompilationService:
             :class:`~repro.tenancy.store.JsonlJobStore` job journal;
             None keeps job state in memory only (pre-tenancy behavior).
         burst_half_life: Fair-share burst-score half-life, seconds.
+        verify: When True the session runs the static compilation
+            verifier over every result; entry records and ``/compile``
+            responses carry a ``verification`` report payload and
+            ``/stats`` grows verifier counters.  Opt-in because the
+            extra pass costs a fraction of compile time on every job.
     """
 
     def __init__(self, session: Optional[Session] = None, *, jobs: int = 1,
@@ -148,16 +153,20 @@ class CompilationService:
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  retention: int = 256,
                  tenants=None, store_dir: Optional[str] = None,
-                 burst_half_life: float = DEFAULT_HALF_LIFE) -> None:
+                 burst_half_life: float = DEFAULT_HALF_LIFE,
+                 verify: bool = False) -> None:
         if session is None:
             if cache_dir is not None:
                 from repro.service.cache import DiskCache
 
                 disk_cache = DiskCache(cache_dir,
                                        max_bytes=cache_max_bytes)
-                session = Session(jobs=jobs, disk_cache=disk_cache)
+                session = Session(jobs=jobs, disk_cache=disk_cache,
+                                  verify=verify)
             else:
-                session = Session(jobs=jobs)
+                session = Session(jobs=jobs, verify=verify)
+        elif verify:
+            session.verify = True
         self.session = session
         self.tenants = coerce_registry(tenants)
         self.scheduler = FairShareScheduler(half_life=burst_half_life)
@@ -167,7 +176,8 @@ class CompilationService:
                                   retention=retention, name="repro-service",
                                   scheduler=self.scheduler, store=self.store)
         self._counters = threading.Lock()
-        self.started_at = time.time()
+        # Monotonic: uptime must survive wall-clock jumps (NTP, DST).
+        self.started_at = time.monotonic()
         self.requests = 0
         self.jobs_run = 0
         self.job_failures = 0
@@ -291,6 +301,8 @@ class CompilationService:
         if entry.ok:
             response["result"] = entry.result.to_dict()
             response["row"] = entry.row()
+            if entry.verification is not None:
+                response["verification"] = entry.verification.to_dict()
         else:
             response["error"] = entry.error.to_dict()
         self.manager.record_entry(queued, self._entry_record(entry))
@@ -310,6 +322,8 @@ class CompilationService:
         }
         if entry.ok:
             record["result"] = entry.result.to_dict()
+            if entry.verification is not None:
+                record["verification"] = entry.verification.to_dict()
         else:
             record["error"] = entry.error.to_dict()
         return record
@@ -479,10 +493,11 @@ class CompilationService:
         manager = self.manager.stats()
         with self._counters:
             service = {
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": time.monotonic() - self.started_at,
                 "requests": self.requests,
                 "jobs_run": self.jobs_run,
                 "job_failures": self.job_failures,
+                "verify_enabled": self.session.verify,
                 "queue_depth": manager["queue"]["depth"],
                 "queue_capacity": manager["queue"]["capacity"],
                 "workers": manager["pool"]["workers"],
@@ -525,7 +540,7 @@ class CompilationService:
         """Liveness payload (includes worker liveness for probes)."""
         self._count_request()
         return {"status": "ok",
-                "uptime_seconds": time.time() - self.started_at,
+                "uptime_seconds": time.monotonic() - self.started_at,
                 "workers_alive": self.manager.pool.alive}
 
 
@@ -715,6 +730,7 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                 queue_size: int = DEFAULT_QUEUE_SIZE,
                 tenants=None, store_dir: Optional[str] = None,
                 burst_half_life: Optional[float] = None,
+                verify: bool = False,
                 verbose: bool = False) -> CompilationHTTPServer:
     """Build a ready-to-serve compilation service HTTP server.
 
@@ -731,7 +747,8 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
         workers=workers, queue_size=queue_size,
         tenants=tenants, store_dir=store_dir,
         burst_half_life=(DEFAULT_HALF_LIFE if burst_half_life is None
-                         else burst_half_life))
+                         else burst_half_life),
+        verify=verify)
     server.verbose = verbose
     return server
 
@@ -743,6 +760,7 @@ def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
           queue_size: int = DEFAULT_QUEUE_SIZE,
           tenants=None, store_dir: Optional[str] = None,
           burst_half_life: Optional[float] = None,
+          verify: bool = False,
           verbose: bool = True) -> None:
     """Run the service in the foreground until interrupted (CLI helper)."""
     server = make_server(host, port, jobs=jobs, cache_dir=cache_dir,
@@ -750,12 +768,14 @@ def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                          workers=workers, queue_size=queue_size,
                          tenants=tenants, store_dir=store_dir,
                          burst_half_life=burst_half_life,
+                         verify=verify,
                          verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro compilation service on http://{bound_host}:{bound_port} "
           f"(workers={workers}, queue_size={queue_size}, jobs={jobs}, "
           f"cache_dir={cache_dir or 'none'}, "
-          f"store_dir={store_dir or 'none'}) — Ctrl-C to stop")
+          f"store_dir={store_dir or 'none'}, "
+          f"verify={'on' if verify else 'off'}) — Ctrl-C to stop")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

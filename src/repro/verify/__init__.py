@@ -1,0 +1,47 @@
+"""Static compilation-safety verification (the ``repro.verify`` subsystem).
+
+A fast, simulation-free checker over compiled artifacts: one linear pass
+over a :class:`~repro.core.result.CompilationResult` proves the
+allocation/reclamation/mapping story self-consistent (rules RV001-RV006),
+so performance rewrites of the compile hot path can be gated on "the
+verifier still reports zero findings" instead of bit-level simulation,
+which cannot scale to paper-size circuits.
+
+Entry points:
+
+* :func:`verify_result` — check one result, returning a deterministic
+  :class:`VerificationReport` of :class:`Diagnostic` findings.
+* :data:`~repro.verify.mutate.MUTATIONS` /
+  :func:`~repro.verify.mutate.apply_mutation` — the mutation-injection
+  harness that corrupts known-good results to prove each rule actually
+  fires (the verifier's own test oracle).
+* ``Session(verify=True)``, the ``verify`` CLI subcommand and the
+  service's ``verify=`` flag wire the pass through every layer.
+"""
+
+from repro.verify.checker import topology_for_machine_name, verify_result
+from repro.verify.diagnostics import (
+    RULES,
+    Diagnostic,
+    VerificationReport,
+    make_report,
+)
+from repro.verify.mutate import (
+    MUTATIONS,
+    Mutation,
+    applicable_mutations,
+    apply_mutation,
+)
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "VerificationReport",
+    "make_report",
+    "verify_result",
+    "topology_for_machine_name",
+    "MUTATIONS",
+    "Mutation",
+    "apply_mutation",
+    "applicable_mutations",
+]

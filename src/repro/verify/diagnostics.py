@@ -1,0 +1,237 @@
+"""Diagnostics and reports produced by the static compilation verifier.
+
+A :class:`Diagnostic` is one finding: a rule id from :data:`RULES`, a
+severity, a human-readable message, and enough coordinates (instruction
+index, qubit, site, time) to locate the offending artifact inside the
+:class:`~repro.core.result.CompilationResult` that was checked.  A
+:class:`VerificationReport` collects the findings of one verification
+pass in a deterministic order, together with coverage counters, so two
+passes over the same result serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Rule ids checked by :func:`repro.verify.checker.verify_result`, with the
+#: invariant each one guards.  The table is ordered; reports list rules in
+#: this order.
+RULES: Mapping[str, str] = {
+    "RV001": "every gate acts inside a recorded live segment of each "
+             "operand qubit (no use-after-reclaim)",
+    "RV002": "no two live virtual qubits occupy one physical site at "
+             "overlapping times (mapping replay closes)",
+    "RV003": "two-qubit gates act on topology-adjacent sites at their "
+             "scheduled time (routing/SWAP accounting closes)",
+    "RV004": "live-qubit count and headline metrics match the artifact "
+             "(gate/swap counts, depth, AQV, peak vs. capacity)",
+    "RV005": "reclamation accounting balances (no live re-issue; "
+             "reclamation events are well-formed)",
+    "RV006": "structural gate-stream lint (known gates, arities, "
+             "distinct wires, per-qubit time order)",
+}
+
+#: Severity levels a diagnostic can carry, in increasing weight.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static verifier.
+
+    Attributes:
+        rule: Rule id from :data:`RULES` (e.g. ``"RV001"``).
+        severity: ``"error"`` (an invariant is broken) or ``"warning"``.
+        message: Human-readable description of the violation.
+        module: Module name, for findings tied to a reclamation event.
+        instruction: Index of the offending record in its stream — the
+            scheduled-gate stream for gate findings, ``usage_segments``
+            for segment findings, ``reclamation_events`` for event
+            findings; -1 when the finding has no single instruction.
+        qubit: Virtual qubit involved, or -1.
+        site: Physical site involved, or -1.
+        time: Scheduler time of the violation, or -1.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    module: str = ""
+    instruction: int = -1
+    qubit: int = -1
+    site: int = -1
+    time: int = -1
+
+    def sort_key(self) -> Tuple:
+        """Deterministic ordering: rule, then stream position, then text."""
+        return (self.rule, self.instruction, self.qubit, self.site,
+                self.time, self.message)
+
+    def describe(self) -> str:
+        """One-line ``rule severity: message`` rendering for CLI output."""
+        where = []
+        if self.instruction >= 0:
+            where.append(f"instr {self.instruction}")
+        if self.qubit >= 0:
+            where.append(f"q{self.qubit}")
+        if self.site >= 0:
+            where.append(f"site {self.site}")
+        if self.time >= 0:
+            where.append(f"t={self.time}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        return f"{self.rule} {self.severity}: {self.message}{suffix}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a JSON-compatible dictionary."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "module": self.module,
+            "instruction": self.instruction,
+            "qubit": self.qubit,
+            "site": self.site,
+            "time": self.time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Diagnostic":
+        """Rebuild a diagnostic from :meth:`to_dict` output."""
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            message=data["message"],
+            module=data.get("module", ""),
+            instruction=data.get("instruction", -1),
+            qubit=data.get("qubit", -1),
+            site=data.get("site", -1),
+            time=data.get("time", -1),
+        )
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one static verification pass over a compilation result.
+
+    Findings are stored sorted by :meth:`Diagnostic.sort_key`, and
+    :meth:`to_dict` contains no wall-clock data, so verifying the same
+    result twice produces byte-identical JSON.  The pass duration is
+    carried separately in :attr:`verify_seconds` for overhead accounting
+    (benchmarks), outside the deterministic payload.
+
+    Attributes:
+        program_name: Program the verified result compiled.
+        machine_name: Machine the result was compiled for.
+        policy_name: Policy label of the verified result.
+        findings: Sorted diagnostics (empty when the artifact is clean).
+        checked_gates: Scheduled gates examined.
+        checked_segments: Usage segments examined.
+        checked_events: Reclamation events examined.
+        skipped_rules: Rules that could not run on this artifact (e.g.
+            gate-stream rules without ``record_schedule=True``, topology
+            rules for an unrecognised machine name), with reasons.
+        verify_seconds: Wall-clock duration of the pass (not serialized).
+    """
+
+    program_name: str
+    machine_name: str
+    policy_name: str
+    findings: Tuple[Diagnostic, ...] = ()
+    checked_gates: int = 0
+    checked_segments: int = 0
+    checked_events: int = 0
+    skipped_rules: Tuple[Tuple[str, str], ...] = ()
+    verify_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was reported."""
+        return not any(d.severity == "error" for d in self.findings)
+
+    @property
+    def num_errors(self) -> int:
+        """Number of error-severity findings."""
+        return sum(1 for d in self.findings if d.severity == "error")
+
+    def rules_violated(self) -> Tuple[str, ...]:
+        """Distinct rule ids with at least one finding, in RULES order."""
+        hit = {d.rule for d in self.findings}
+        return tuple(rule for rule in RULES if rule in hit)
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Findings per rule id, for every rule in :data:`RULES`."""
+        counts = {rule: 0 for rule in RULES}
+        for diagnostic in self.findings:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line verdict for tables and logs."""
+        label = (f"{self.program_name}/{self.policy_name}"
+                 f"@{self.machine_name}")
+        if not self.findings:
+            return (f"{label}: ok ({self.checked_gates} gates, "
+                    f"{self.checked_segments} segments checked)")
+        rules = ",".join(self.rules_violated())
+        return f"{label}: {len(self.findings)} finding(s) [{rules}]"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to a deterministic JSON-compatible dictionary."""
+        return {
+            "program_name": self.program_name,
+            "machine_name": self.machine_name,
+            "policy_name": self.policy_name,
+            "ok": self.ok,
+            "findings": [d.to_dict() for d in self.findings],
+            "checked_gates": self.checked_gates,
+            "checked_segments": self.checked_segments,
+            "checked_events": self.checked_events,
+            "skipped_rules": [list(pair) for pair in self.skipped_rules],
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """Serialize to JSON text, optionally writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.write("\n")
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "VerificationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            program_name=data["program_name"],
+            machine_name=data["machine_name"],
+            policy_name=data["policy_name"],
+            findings=tuple(Diagnostic.from_dict(d)
+                           for d in data.get("findings", ())),
+            checked_gates=data.get("checked_gates", 0),
+            checked_segments=data.get("checked_segments", 0),
+            checked_events=data.get("checked_events", 0),
+            skipped_rules=tuple((rule, reason) for rule, reason
+                                in data.get("skipped_rules", ())),
+        )
+
+
+def make_report(program_name: str, machine_name: str, policy_name: str,
+                findings: Sequence[Diagnostic], *,
+                checked_gates: int = 0, checked_segments: int = 0,
+                checked_events: int = 0,
+                skipped_rules: Sequence[Tuple[str, str]] = (),
+                verify_seconds: float = 0.0) -> VerificationReport:
+    """Build a report with findings sorted into their deterministic order."""
+    return VerificationReport(
+        program_name=program_name,
+        machine_name=machine_name,
+        policy_name=policy_name,
+        findings=tuple(sorted(findings, key=Diagnostic.sort_key)),
+        checked_gates=checked_gates,
+        checked_segments=checked_segments,
+        checked_events=checked_events,
+        skipped_rules=tuple(skipped_rules),
+        verify_seconds=verify_seconds,
+    )

@@ -1,0 +1,269 @@
+"""Mutation injection: corrupt known-good results to exercise the verifier.
+
+Each :class:`Mutation` takes a clean :class:`~repro.core.result.CompilationResult`
+and returns a corrupted copy modelling one class of compiler bug — the
+kind a hot-path rewrite could silently introduce — together with the rule
+id the static verifier must report for it.  The differential tests apply
+every applicable mutation to real compiles and assert the designated rule
+fires, which is what makes the verifier a trustworthy acceptance gate:
+it is tested against known-bad artifacts, not just known-good ones.
+
+Mutations return ``None`` when a result lacks the artifact they corrupt
+(e.g. no recorded schedule); callers skip those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.result import CompilationResult
+from repro.scheduler.events import ScheduledGate
+from repro.scheduler.tracker import UsageSegment
+
+
+def _gate_indices(result: CompilationResult, *, routed: bool = False,
+                  min_qubits: int = 0) -> List[int]:
+    return [index for index, event in enumerate(result.scheduled_gates)
+            if event.routed == routed
+            and len(event.virtual_qubits) >= min_qubits]
+
+
+def _replace_gate(result: CompilationResult, index: int,
+                  event: ScheduledGate) -> CompilationResult:
+    events = list(result.scheduled_gates)
+    events[index] = event
+    return replace(result, scheduled_gates=tuple(events))
+
+
+def _covering_segment(result: CompilationResult, qubit: int,
+                      start: int, finish: int) -> Optional[int]:
+    for index, segment in enumerate(result.usage_segments):
+        if (segment.qubit == qubit and segment.start <= start
+                and finish <= segment.end):
+            return index
+    return None
+
+
+# ----------------------------------------------------------------------
+# Mutation implementations
+# ----------------------------------------------------------------------
+def truncate_segment(result: CompilationResult) -> Optional[CompilationResult]:
+    """Shift a usage segment's end before its last gate (use-after-reclaim).
+
+    Models liveness bookkeeping that closes a segment too early — the
+    qubit keeps receiving gates after its recorded reclamation.
+    """
+    for index in reversed(_gate_indices(result, min_qubits=1)):
+        event = result.scheduled_gates[index]
+        for qubit in event.virtual_qubits:
+            seg_index = _covering_segment(result, qubit, event.start,
+                                          event.finish)
+            if seg_index is None:
+                continue
+            segment = result.usage_segments[seg_index]
+            segments = list(result.usage_segments)
+            segments[seg_index] = UsageSegment(
+                qubit=segment.qubit, start=segment.start,
+                end=event.finish - 1,
+            )
+            return replace(result, usage_segments=tuple(segments))
+    return None
+
+
+def swap_mapping(result: CompilationResult) -> Optional[CompilationResult]:
+    """Exchange the sites of two final-mapping entries (mapping corruption).
+
+    Models a layout table whose entries drifted from the schedule — the
+    reverse replay from ``final_sites`` no longer matches the recorded
+    gate sites.
+    """
+    touched = [qubit
+               for index in _gate_indices(result, min_qubits=1)
+               for qubit in result.scheduled_gates[index].virtual_qubits]
+    entries = list(result.final_sites)
+    chosen: List[int] = []
+    for position, (virtual, _site) in enumerate(entries):
+        if virtual in touched:
+            chosen.append(position)
+        if len(chosen) == 2:
+            break
+    if len(chosen) < 2:
+        return None
+    first, second = chosen
+    qubit_a, site_a = entries[first]
+    qubit_b, site_b = entries[second]
+    entries[first] = (qubit_a, site_b)
+    entries[second] = (qubit_b, site_a)
+    return replace(result, final_sites=tuple(entries))
+
+
+def nonadjacent_gate(result: CompilationResult) -> Optional[CompilationResult]:
+    """Teleport a two-qubit gate's control site (routing that fails to close).
+
+    Models a router that stopped short: the committed gate acts across
+    the machine instead of on adjacent sites.  Only applies on machines
+    with swap-routing adjacency constraints (the rule is vacuous
+    elsewhere).
+    """
+    from repro.verify.checker import topology_for_machine_name
+
+    rebuilt = topology_for_machine_name(result.machine_name)
+    if rebuilt is None:
+        return None
+    topology, communication = rebuilt
+    if communication != "swap" or topology.is_fully_connected:
+        return None
+    for index in _gate_indices(result, min_qubits=2):
+        event = result.scheduled_gates[index]
+        target = event.sites[-1]
+        far_site = next(
+            (site for site in range(topology.num_sites)
+             if site != target and not topology.are_adjacent(site, target)),
+            None,
+        )
+        if far_site is None:
+            return None
+        sites = list(event.sites)
+        sites[-2] = far_site
+        return _replace_gate(result, index, replace(event,
+                                                    sites=tuple(sites)))
+    return None
+
+
+def drop_uncompute(result: CompilationResult) -> Optional[CompilationResult]:
+    """Silently drop a gate from the stream (a lost uncompute gate).
+
+    Models an uncompute block that was skipped without accounting for
+    it — the stream no longer carries the gates the metrics claim.
+    """
+    indices = _gate_indices(result)
+    if not indices:
+        return None
+    events = list(result.scheduled_gates)
+    del events[indices[-1]]
+    return replace(result, scheduled_gates=tuple(events))
+
+
+def inflate_peak(result: CompilationResult) -> Optional[CompilationResult]:
+    """Overstate peak liveness past the qubit footprint (capacity breach).
+
+    Models liveness accounting that leaks segments: the reported peak
+    exceeds every qubit the compile ever created.
+    """
+    return replace(result, peak_live_qubits=result.num_qubits_used + 7)
+
+
+def overlap_segment(result: CompilationResult) -> Optional[CompilationResult]:
+    """Duplicate a live segment (the heap re-issued a live qubit).
+
+    Models an ancilla heap that hands out a qubit that was never
+    reclaimed — the qubit holds two overlapping usage segments.
+    """
+    for segment in result.usage_segments:
+        if segment.duration > 0:
+            return replace(result, usage_segments=result.usage_segments
+                           + (segment,))
+    return None
+
+
+def unknown_gate(result: CompilationResult) -> Optional[CompilationResult]:
+    """Rename a gate to one outside the IR gate set (structural corruption)."""
+    indices = _gate_indices(result)
+    if not indices:
+        return None
+    event = result.scheduled_gates[indices[0]]
+    return _replace_gate(result, indices[0],
+                         replace(event, name="bogus_gate"))
+
+
+def duplicate_wire(result: CompilationResult) -> Optional[CompilationResult]:
+    """Fold a multi-qubit gate's operands onto one wire (aliased operands)."""
+    for index in _gate_indices(result, min_qubits=2):
+        event = result.scheduled_gates[index]
+        qubits = (event.virtual_qubits[-1],) * len(event.virtual_qubits)
+        return _replace_gate(result, index,
+                             replace(event, virtual_qubits=qubits))
+    return None
+
+
+def reorder_gates(result: CompilationResult) -> Optional[CompilationResult]:
+    """Swap two time-ordered events on one qubit (stream order corruption)."""
+    last_seen: Dict[int, int] = {}
+    for index, event in enumerate(result.scheduled_gates):
+        if event.duration <= 0:
+            continue
+        for qubit in event.virtual_qubits:
+            previous = last_seen.get(qubit)
+            if previous is not None:
+                earlier = result.scheduled_gates[previous]
+                if earlier.finish <= event.start and earlier.duration > 0:
+                    events = list(result.scheduled_gates)
+                    events[previous], events[index] = (events[index],
+                                                       events[previous])
+                    return replace(result, scheduled_gates=tuple(events))
+            last_seen[qubit] = index
+    return None
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One corruption class with the rule id designated to catch it.
+
+    Attributes:
+        name: Stable mutation name (test parameter / CLI key).
+        rule: Rule id the verifier must report when this corruption is
+            injected.
+        apply: Callable producing the corrupted copy, or ``None`` when
+            the result lacks the artifact this mutation targets.
+        description: What compiler bug the corruption models.
+    """
+
+    name: str
+    rule: str
+    apply: Callable[[CompilationResult], Optional[CompilationResult]]
+    description: str
+
+
+#: Every corruption class, keyed by name.  Each maps to the single rule
+#: id designated to catch it (other rules may fire too; the designated
+#: one must).
+MUTATIONS: Dict[str, Mutation] = {
+    mutation.name: mutation
+    for mutation in (
+        Mutation("truncate-segment", "RV001", truncate_segment,
+                 "segment closed before its last gate (use-after-reclaim)"),
+        Mutation("swap-mapping", "RV002", swap_mapping,
+                 "two final-mapping entries exchanged sites"),
+        Mutation("nonadjacent-gate", "RV003", nonadjacent_gate,
+                 "two-qubit gate committed on non-adjacent sites"),
+        Mutation("drop-uncompute", "RV004", drop_uncompute,
+                 "gate dropped from the stream without accounting"),
+        Mutation("inflate-peak", "RV004", inflate_peak,
+                 "peak liveness overstated past the qubit footprint"),
+        Mutation("overlap-segment", "RV005", overlap_segment,
+                 "heap re-issued a qubit that was still live"),
+        Mutation("unknown-gate", "RV006", unknown_gate,
+                 "gate renamed outside the IR gate set"),
+        Mutation("duplicate-wire", "RV006", duplicate_wire,
+                 "multi-qubit gate operands folded onto one wire"),
+        Mutation("reorder-gates", "RV006", reorder_gates,
+                 "two same-qubit events swapped out of time order"),
+    )
+}
+
+
+def apply_mutation(result: CompilationResult,
+                   name: str) -> Optional[CompilationResult]:
+    """Apply the named mutation; ``None`` when it does not apply.
+
+    Raises:
+        KeyError: If ``name`` is not in :data:`MUTATIONS`.
+    """
+    return MUTATIONS[name].apply(result)
+
+
+def applicable_mutations(result: CompilationResult) -> List[str]:
+    """Names of the mutations that can corrupt this particular result."""
+    return [name for name, mutation in MUTATIONS.items()
+            if mutation.apply(result) is not None]

@@ -1,0 +1,107 @@
+"""Tests for ``tools/lint_repro.py``: the concurrency/timing lint.
+
+Seeds each violation class into a temp tree and asserts the matching
+rule fires (and that the documented pragmas suppress it), then asserts
+the real repo lints clean — the same gate CI runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_repro", ROOT / "tools" / "lint_repro.py")
+lint_repro = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_repro)
+
+
+def _lint_source(tmp_path: Path, source: str,
+                 relative: str = "queue/sample.py"):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return lint_repro.lint_file(path, tmp_path)
+
+
+def _rules(findings):
+    return [finding.rule for finding in findings]
+
+
+def test_wall_clock_flagged_in_monotonic_layers(tmp_path):
+    findings = _lint_source(tmp_path, "import time\nnow = time.time()\n")
+    assert _rules(findings) == ["LR001"]
+
+
+def test_wall_clock_pragma_suppresses(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "import time\nstamp = time.time()  # lint: wall-clock\n")
+    assert findings == []
+
+
+def test_wall_clock_ignored_outside_layers(tmp_path):
+    findings = _lint_source(tmp_path, "import time\nnow = time.time()\n",
+                            relative="core/sample.py")
+    assert findings == []
+
+
+def test_bare_except_flagged(tmp_path):
+    source = "try:\n    pass\nexcept:\n    pass\n"
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert _rules(findings) == ["LR002"]
+
+
+def test_thread_without_daemon_flagged_and_pragma(tmp_path):
+    source = ("import threading\n"
+              "a = threading.Thread(target=print)\n"
+              "b = threading.Thread(target=print)  # lint: joined-thread\n"
+              "c = threading.Thread(target=print, daemon=True)\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert _rules(findings) == ["LR003"]
+    assert findings[0].line == 2
+
+
+def test_lock_guarded_attribute_mutated_bare(tmp_path):
+    source = (
+        "import threading\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.hits = 0\n"          # constructor: exempt
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self.hits += 1\n"     # guarded
+        "    def reset(self):\n"
+        "        self.hits = 0\n"          # bare: LR004
+        "    def reset_quietly(self):\n"
+        "        self.hits = 0  # lint: unlocked\n"
+    )
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert _rules(findings) == ["LR004"]
+    assert findings[0].line == 10
+
+
+def test_lock_free_class_is_not_checked(tmp_path):
+    source = ("class Plain:\n"
+              "    def __init__(self):\n"
+              "        self.hits = 0\n"
+              "    def bump(self):\n"
+              "        self.hits += 1\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert findings == []
+
+
+def test_lint_off_pragma_disables_all_rules(tmp_path):
+    findings = _lint_source(tmp_path,
+                            "import time\nnow = time.time()  # lint: off\n")
+    assert findings == []
+
+
+def test_repo_lints_clean():
+    """The gate CI runs: the shipped tree has no findings."""
+    findings = lint_repro.lint_paths(
+        [ROOT / "src" / "repro", ROOT / "tools"], ROOT)
+    assert findings == [], [finding.describe() for finding in findings]

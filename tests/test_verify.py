@@ -1,0 +1,284 @@
+"""Tests for :mod:`repro.verify`: the static compilation-safety verifier.
+
+Three layers of evidence that the verifier is trustworthy:
+
+* **Clean on real artifacts** — a registry cross-section compiled under
+  all three reclamation policies verifies with zero findings and zero
+  skipped rules (full coverage, no false positives).
+* **Sensitive to corruption** — every registered mutation class injected
+  into known-good results is caught with its *designated* rule id (no
+  false negatives for the bug classes the verifier exists to catch).
+* **Consistent with simulation** — on small reversible workloads the
+  bit-level ancilla-restoration check (:mod:`repro.ir.validate`) and the
+  simulation-free static verifier agree that the artifacts are sound.
+
+Plus the wiring: ``Session(verify=True)`` post-pass + memoization, the
+``verify`` CLI subcommand's exit code, the server's ``verify=`` flag
+round-tripping reports over the wire, and report determinism.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import Session, SweepSpec
+from repro.exceptions import ValidationError
+from repro.ir.validate import verify_ancilla_restored
+from repro.service.client import ServiceClient
+from repro.service.server import make_server
+from repro.verify import (
+    MUTATIONS,
+    RULES,
+    Diagnostic,
+    VerificationReport,
+    apply_mutation,
+    topology_for_machine_name,
+    verify_result,
+)
+from repro.workloads.registry import load_scaled_benchmark
+
+#: Registry cross-section used for the clean/mutation fixtures: small
+#: oracles plus one mid-size adder, on the default (swap-routed,
+#: non-fully-connected) autosized NISQ grid so every rule is live.
+BENCHMARKS = ("RD53", "2OF5", "ADDER4")
+POLICIES = ("eager", "lazy", "square")
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    """Known-good results with recorded schedules, one per policy."""
+    spec = (SweepSpec()
+            .with_benchmarks(*BENCHMARKS)
+            .with_policies(*POLICIES)
+            .with_scales("quick")
+            .with_config(record_schedule=True))
+    sweep = Session().run(spec)
+    assert sweep.ok, sweep.failures()
+    return sweep.results()
+
+
+# ----------------------------------------------------------------------
+# Clean on real artifacts
+# ----------------------------------------------------------------------
+def test_registry_sample_verifies_clean(compiled):
+    for result in compiled:
+        report = verify_result(result)
+        assert report.findings == (), report.summary()
+        assert report.ok
+        assert report.skipped_rules == ()
+        assert report.checked_gates == len(result.scheduled_gates)
+        assert report.checked_segments == len(result.usage_segments)
+
+
+def test_skipped_rules_without_recorded_schedule():
+    session = Session()
+    result = session.compile("RD53", policy="square")
+    assert not result.scheduled_gates
+    report = verify_result(result)
+    assert report.findings == ()
+    skipped = {rule for rule, _reason in report.skipped_rules}
+    assert {"RV001", "RV002", "RV003"} <= skipped
+    for _rule, reason in report.skipped_rules:
+        assert "record_schedule" in reason
+
+
+# ----------------------------------------------------------------------
+# Sensitive to corruption: the mutation-injection differential harness
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutation_caught_with_designated_rule(compiled, name):
+    mutation = MUTATIONS[name]
+    applied = 0
+    for result in compiled:
+        corrupted = apply_mutation(result, name)
+        if corrupted is None:
+            continue
+        applied += 1
+        report = verify_result(corrupted)
+        assert mutation.rule in report.rules_violated(), (
+            f"{name} on {result.program_name}/{result.policy_name}: "
+            f"expected {mutation.rule}, got {report.rules_violated()}")
+        assert not report.ok
+    assert applied, f"mutation {name} applied to no compiled result"
+
+
+def test_mutations_cover_at_least_six_rules():
+    """The harness spans every corruption class the ISSUE names."""
+    assert {mutation.rule for mutation in MUTATIONS.values()} == set(RULES)
+    assert len(MUTATIONS) >= 6
+
+
+# ----------------------------------------------------------------------
+# Consistent with bit-level simulation on small reversible workloads
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", BENCHMARKS)
+def test_differential_against_ancilla_simulation(compiled, workload):
+    """Static verifier and classical simulation agree on soundness.
+
+    The simulation proves the *program* restores its ancillas; the
+    verifier proves the *compiled artifact* is self-consistent.  On
+    workloads small enough to simulate, both must pass.
+    """
+    program = load_scaled_benchmark(workload, "quick")
+    simulated = 0
+    for module in program.modules():
+        try:
+            verify_ancilla_restored(module, trials=4, exhaustive_limit=6)
+        except ValidationError as error:
+            if "non-classical" in str(error):
+                continue
+            raise
+        simulated += 1
+    assert simulated, f"no simulatable module in {workload}"
+    for result in compiled:
+        if result.program_name == program.name:
+            assert verify_result(result).ok
+
+
+# ----------------------------------------------------------------------
+# Reports: determinism, serialization, topology parsing
+# ----------------------------------------------------------------------
+def test_report_is_deterministic_and_roundtrips(compiled):
+    result = compiled[0]
+    first = verify_result(result)
+    second = verify_result(result)
+    # verify_seconds differs between passes but is excluded from both
+    # equality and serialization.
+    assert first == second
+    assert first.to_json() == second.to_json()
+    rebuilt = VerificationReport.from_dict(first.to_dict())
+    assert rebuilt == first
+    assert rebuilt.to_json() == first.to_json()
+
+
+def test_diagnostic_roundtrip_and_rendering():
+    diagnostic = Diagnostic(rule="RV002", severity="error",
+                            message="two qubits on one site",
+                            instruction=7, qubit=3, site=12, time=40)
+    assert Diagnostic.from_dict(diagnostic.to_dict()) == diagnostic
+    text = diagnostic.describe()
+    assert "RV002" in text and "instr 7" in text and "site 12" in text
+
+
+def test_topology_for_machine_name():
+    grid = topology_for_machine_name("nisq-grid-3x4")
+    assert grid is not None
+    topology, communication = grid
+    assert topology.num_sites == 12
+    assert communication == "swap"
+    ft = topology_for_machine_name("ft-grid-2x2")
+    assert ft is not None and ft[1] == "braid"
+    ideal = topology_for_machine_name("ideal-16")
+    assert ideal is not None and ideal[1] == "none"
+    full = topology_for_machine_name("nisq-full-5")
+    assert full is not None and full[0].is_fully_connected
+    assert topology_for_machine_name("mystery-box") is None
+
+
+# ----------------------------------------------------------------------
+# Session wiring
+# ----------------------------------------------------------------------
+def test_session_attaches_and_memoizes_reports():
+    session = Session(verify=True)
+    spec = (SweepSpec().with_benchmarks("RD53")
+            .with_policies("eager", "square").with_scales("quick")
+            .with_config(record_schedule=True))
+    sweep = session.run(spec)
+    assert all(entry.verification is not None for entry in sweep)
+    assert sweep.verification_failures() == []
+    assert session.verified_results == len(sweep)
+    assert session.stats()["verify"] == {
+        "verified_results": len(sweep), "findings": 0}
+    # Cache hits re-attach the memoized report instead of re-verifying.
+    again = session.run(spec)
+    assert session.verified_results == len(sweep)
+    assert again[0].verification is sweep[0].verification
+    # Verified sweeps grow a verify column; plain sweeps must not (the
+    # cluster CI compares plain exports byte-for-byte).
+    assert all(row["verify"] == "ok" for row in sweep.rows())
+    plain = Session().run(spec)
+    assert all("verify" not in row for row in plain.rows())
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+def test_cli_verify_clean_exit(capsys):
+    from repro.experiments.__main__ import main
+
+    code = main(["verify", "RD53", "--policies", "square",
+                 "--scale", "quick"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Verify:" in out and "0 finding(s)" in out
+
+
+def test_cli_verify_nonzero_exit_on_findings(capsys, monkeypatch):
+    from repro.experiments.__main__ import main
+
+    def fake_verify(result, **kwargs):
+        return VerificationReport(
+            program_name=result.program_name,
+            machine_name=result.machine_name,
+            policy_name=result.policy_name,
+            findings=(Diagnostic(rule="RV004", severity="error",
+                                 message="injected for the exit test"),),
+        )
+
+    monkeypatch.setattr("repro.verify.verify_result", fake_verify)
+    code = main(["verify", "RD53", "--policies", "square",
+                 "--scale", "quick"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RV004" in out
+
+
+def test_cli_verify_flag_only_applies_to_serve():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["sweep", "RD53", "--verify"])
+
+
+# ----------------------------------------------------------------------
+# Server wiring
+# ----------------------------------------------------------------------
+def test_server_verify_flag_roundtrips_reports():
+    server = make_server(port=0, verify=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        spec = (SweepSpec().with_benchmarks("RD53")
+                .with_policies("eager").with_scales("quick")
+                .with_config(record_schedule=True))
+        sweep = client.run(spec)
+        assert all(entry.verification is not None for entry in sweep)
+        assert all(entry.verification.ok for entry in sweep)
+        assert sweep.rows()[0]["verify"] == "ok"
+        stats = client.stats()
+        assert stats["service"]["verify_enabled"] is True
+        assert stats["session"]["verify"]["verified_results"] >= 1
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_server_verify_off_by_default():
+    server = make_server(port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        spec = (SweepSpec().with_benchmarks("RD53")
+                .with_policies("eager").with_scales("quick"))
+        sweep = client.run(spec)
+        assert all(entry.verification is None for entry in sweep)
+        assert client.stats()["service"]["verify_enabled"] is False
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,205 @@
+"""Observability demo: /metrics scraping, phase timing, tracing, fleet merge.
+
+Walks the telemetry story end to end, over real HTTP:
+
+1. start a server with a durable job journal (``--store-dir``-style) and
+   scrape ``GET /metrics`` cold: every mandatory series is present with
+   its expected label set, and the exposition parses cleanly,
+2. do real work (a sync compile plus an async sweep) and assert the
+   compile-phase histograms, queue/cache counters, and per-tenant series
+   all advance — and that ``/stats`` and ``/metrics`` report identical
+   numbers (both read one snapshot),
+3. tracing: the client's minted ``X-Repro-Trace`` id comes back on every
+   response header and lands on every job record it created,
+4. fleet: start a second server and merge both scrapes through
+   :meth:`~repro.cluster.ClusterTopology.fleet_metrics` — every sample
+   gains a ``worker`` label and ``repro_worker_up`` flips to 0 when a
+   worker is killed,
+5. restart the first server on the same store directory and assert the
+   recovered per-tenant lifecycle counters surface identically in
+   ``/stats`` and ``/metrics`` (journal-backed counters survive).
+
+Every step asserts what it claims, so CI runs this file as the metrics
+smoke test (under a hard timeout).  Run with::
+
+    python examples/metrics_demo.py [store_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+from repro.api import CompileJob, MachineSpec, SweepSpec
+from repro.cluster import ClusterTopology
+from repro.service import ServiceClient, make_server
+from repro.telemetry import TRACE_HEADER, parse_exposition, valid_trace_id
+
+GRID = MachineSpec.nisq_grid(5, 5)
+QUICK = CompileJob.for_benchmark("RD53", GRID, "square")
+SWEEP = (SweepSpec().with_benchmarks("RD53", "ADDER4")
+         .with_machines(GRID).with_policies("eager", "lazy"))
+
+#: Series every scrape must expose, with the exact label names each
+#: sample of the family carries.
+MANDATORY_SERIES = {
+    "repro_uptime_seconds": set(),
+    "repro_requests_total": set(),
+    "repro_jobs_run_total": set(),
+    "repro_job_failures_total": set(),
+    "repro_queue_depth": set(),
+    "repro_queue_capacity": set(),
+    "repro_queue_pushed_total": set(),
+    "repro_queue_rejected_total": set(),
+    "repro_workers": set(),
+    "repro_workers_busy": set(),
+    "repro_entries_per_second": set(),
+    "repro_cache_hits_total": {"tier"},
+    "repro_cache_misses_total": {"tier"},
+    "repro_cache_entries": {"tier"},
+}
+
+
+def start_server(store_dir: str, cache_dir: str):
+    server = make_server("127.0.0.1", 0, workers=1, queue_size=16,
+                         store_dir=store_dir, cache_dir=cache_dir)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    return server, f"http://{host}:{port}"
+
+
+def stop_server(server) -> None:
+    server.shutdown()
+    server.server_close()
+
+
+def scrape(url: str) -> dict:
+    """One parsed /metrics scrape."""
+    client = ServiceClient(url)
+    return parse_exposition(client.metrics_text())
+
+
+def value(families: dict, name: str, **labels) -> float:
+    # Histogram _bucket/_sum/_count samples live under their family's
+    # base name, so resolve the family by longest matching prefix.
+    family = families.get(name)
+    if family is None:
+        base = max((candidate for candidate in families
+                    if name.startswith(candidate)), key=len)
+        family = families[base]
+    for sample_name, pairs, raw in family["samples"]:
+        if sample_name == name and dict(pairs) == labels:
+            return float(raw)
+    raise AssertionError(f"no sample {name} with labels {labels}")
+
+
+def main() -> None:
+    root = Path(sys.argv[1] if len(sys.argv) > 1
+                else tempfile.mkdtemp(prefix="repro-metrics-demo-"))
+    root.mkdir(parents=True, exist_ok=True)
+    store_dir = str(root / "jobs")
+    cache_dir = str(root / "cache")
+
+    server, url = start_server(store_dir, cache_dir)
+    print(f"server 1 up at {url}")
+
+    # --- 1. cold scrape: mandatory series + label sets -----------------
+    families = scrape(url)
+    for name, expected_labels in MANDATORY_SERIES.items():
+        assert name in families, f"missing series {name}"
+        for _, pairs, _ in families[name]["samples"]:
+            assert set(dict(pairs)) == expected_labels, \
+                (name, pairs, expected_labels)
+    assert families["repro_queue_pushed_total"]["type"] == "counter"
+    assert families["repro_queue_depth"]["type"] == "gauge"
+    print(f"cold scrape  : {len(families)} families, all mandatory "
+          f"series present with expected labels")
+
+    # --- 2. work advances the series; /stats and /metrics agree --------
+    client = ServiceClient(url)
+    assert client.compile_job(QUICK)["ok"]
+    ticket = client.submit_async(SWEEP)
+    assert client.wait_for(ticket, timeout=300)["state"] == "DONE"
+    families = scrape(url)
+    stats = client.stats()
+    assert value(families, "repro_jobs_run_total") \
+        == stats["service"]["jobs_run"] >= 2
+    assert value(families, "repro_queue_pushed_total") \
+        == stats["queue"]["queue"]["pushed"]
+    assert value(families, "repro_cache_misses_total", tier="memory") \
+        == stats["session"]["cache_misses"]
+    assert value(families, "repro_cache_entries", tier="disk") \
+        == stats["session"]["disk_cache"]["size"] > 0
+    # Disk-tier eviction/orphan counters surface on both surfaces.
+    assert value(families, "repro_cache_evictions_total", tier="disk") \
+        == stats["session"]["disk_cache"]["evictions"]
+    assert value(families, "repro_cache_orphans_removed_total",
+                 tier="disk") \
+        == stats["session"]["disk_cache"]["orphans_removed"]
+    phases = {dict(pairs).get("phase") for _, pairs, _ in
+              families["repro_compile_phase_seconds"]["samples"]
+              if dict(pairs).get("phase")}
+    assert {"validate", "allocation"} <= phases, phases
+    count = value(families, "repro_compile_phase_seconds_count",
+                  phase="allocation")
+    assert count >= 1
+    tenant_submitted = value(families, "repro_tenant_submitted_total",
+                             tenant="anonymous")
+    assert tenant_submitted \
+        == stats["tenants"]["anonymous"]["submitted"] >= 2
+    print(f"agreement    : jobs_run={stats['service']['jobs_run']}, "
+          f"phases={sorted(phases)}, tenant submitted="
+          f"{tenant_submitted:g} — /stats == /metrics")
+
+    # --- 3. tracing ----------------------------------------------------
+    assert valid_trace_id(client.trace_id)
+    request = urllib.request.Request(f"{url}/health",
+                                     headers={TRACE_HEADER: "demo-trace"})
+    with urllib.request.urlopen(request) as response:
+        assert response.headers[TRACE_HEADER] == "demo-trace"
+    record = client.poll(ticket)
+    assert record["trace_id"] == client.trace_id, record
+    print(f"tracing      : header echoed; job {ticket} carries "
+          f"trace {client.trace_id}")
+
+    # --- 4. fleet merge ------------------------------------------------
+    server2, url2 = start_server(str(root / "jobs2"), str(root / "cache2"))
+    topology = ClusterTopology([url, url2])
+    fleet = parse_exposition(topology.fleet_metrics())
+    workers = {dict(pairs)["worker"] for _, pairs, _ in
+               fleet["repro_queue_depth"]["samples"]}
+    assert workers == {url, url2}, workers
+    assert value(fleet, "repro_worker_up", worker=url) == 1
+    assert value(fleet, "repro_worker_up", worker=url2) == 1
+    stop_server(server2)
+    fleet = parse_exposition(topology.fleet_metrics())
+    assert value(fleet, "repro_worker_up", worker=url2) == 0
+    assert value(fleet, "repro_worker_up", worker=url) == 1
+    print(f"fleet        : merged scrape labels both workers; killed "
+          f"{url2} -> repro_worker_up 0")
+
+    # --- 5. restart on the same store: counters survive ----------------
+    pre_submitted = tenant_submitted
+    stop_server(server)
+    server3, url3 = start_server(store_dir, cache_dir)
+    client3 = ServiceClient(url3)
+    families = scrape(url3)
+    stats = client3.stats()
+    recovered = value(families, "repro_tenant_submitted_total",
+                      tenant="anonymous")
+    assert recovered == stats["tenants"]["anonymous"]["submitted"], \
+        "restart broke /stats vs /metrics agreement"
+    assert recovered >= pre_submitted, (recovered, pre_submitted)
+    assert value(families, "repro_cache_entries", tier="disk") > 0
+    stop_server(server3)
+    print(f"restart      : journal-recovered tenant counters "
+          f"(submitted={recovered:g}) identical on both surfaces")
+
+    print("metrics demo OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,7 +35,11 @@ JobOutcome = Union[CompilationResult, JobFailure]
 def _outcome_from_payload(payload: dict) -> JobOutcome:
     """Decode one :func:`~repro.api.job.execute_job_payload` payload."""
     if payload["ok"]:
-        return CompilationResult.from_dict(payload["result"])
+        result = CompilationResult.from_dict(payload["result"])
+        # Re-attach the envelope-carried phase profile (to_dict() stays
+        # timing-free on purpose; see CompilationResult.phase_seconds).
+        result.phase_seconds.update(payload.get("phase_seconds") or {})
+        return result
     return JobFailure.from_dict(payload["failure"])
 
 

@@ -508,6 +508,11 @@ def execute_job_payload(job: CompileJob) -> Dict[str, object]:
     :class:`~repro.exceptions.ReproError`) still propagate raw.
     """
     try:
-        return {"ok": True, "result": execute_job(job).to_dict()}
+        result = execute_job(job)
+        # phase_seconds is telemetry-only and deliberately absent from
+        # to_dict(); the executor envelope carries it across the process
+        # boundary so fresh compiles still report their phase profile.
+        return {"ok": True, "result": result.to_dict(),
+                "phase_seconds": dict(result.phase_seconds)}
     except ReproError as error:
         return {"ok": False, "failure": job_failure(job, error).to_dict()}

@@ -90,12 +90,19 @@ class Session:
             sweep entry.  Reports are memoized per job fingerprint, so
             cache hits re-attach the existing report instead of
             re-checking.
+        metrics: Optional :class:`~repro.telemetry.MetricsRegistry`.
+            When attached, every *fresh* compilation (not cache or disk
+            hits) observes its per-phase compile seconds into the
+            ``repro_compile_phase_seconds{phase=...}`` histograms and
+            its total into ``repro_compile_seconds`` — the profiling
+            substrate the hot-path work reads from ``/metrics``.  The
+            service attaches its registry here automatically.
     """
 
     def __init__(self, executor=None, jobs: int = 1, *,
                  disk_cache=None, cache_dir: Optional[str] = None,
                  isolate_failures: bool = False,
-                 verify: bool = False) -> None:
+                 verify: bool = False, metrics=None) -> None:
         if executor is None:
             executor = SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs)
         if disk_cache is not None and cache_dir is not None:
@@ -111,6 +118,7 @@ class Session:
         self.disk_cache = disk_cache
         self.isolate_failures = isolate_failures
         self.verify = verify
+        self.metrics = metrics
         self._cache: Dict[str, CompilationResult] = {}
         self._verify_cache: Dict[str, object] = {}
         self._lock = threading.Lock()
@@ -199,6 +207,8 @@ class Session:
                                                 job=mine[fingerprint])
                     self._settle(fingerprint, outcome)
                 fresh = set(mine)
+                if self.metrics is not None:
+                    self._observe_compile_metrics(resolved, fresh)
                 if self.disk_cache is not None:
                     flush = getattr(self.disk_cache, "flush_index", None)
                     if flush is not None:
@@ -262,6 +272,28 @@ class Session:
         if self.verify:
             entries = self._verify_entries(entries)
         return SweepResult(entries)
+
+    def _observe_compile_metrics(self, resolved: Dict[str, object],
+                                 fresh) -> None:
+        """Observe fresh compilations into the attached registry.
+
+        Only genuinely compiled results count — cache and disk hits
+        would re-observe stale durations and skew the histograms.
+        """
+        phases = self.metrics.histogram(
+            "repro_compile_phase_seconds",
+            "Exclusive per-phase compile seconds of fresh compilations.",
+            labelnames=("phase",))
+        totals = self.metrics.histogram(
+            "repro_compile_seconds",
+            "End-to-end compile seconds of fresh compilations.")
+        for fingerprint in fresh:
+            result = resolved.get(fingerprint)
+            if result is None:
+                continue
+            totals.observe(result.compile_seconds)
+            for phase, seconds in result.phase_seconds.items():
+                phases.labels(phase=phase).observe(seconds)
 
     def _verify_entries(self,
                         entries: List[SweepEntry]) -> List[SweepEntry]:

@@ -82,6 +82,9 @@ class ClusterCoordinator:
             ``X-Repro-Key`` header, so a cluster sweep runs as one
             principal fleet-wide (each worker resolves the key against
             its own registry); None makes keyless (anonymous) requests.
+        trace_id: Trace id forwarded to every shard as the
+            ``X-Repro-Trace`` header, so one sweep's job records share
+            an id fleet-wide; None mints one per endpoint client.
         poll_timeout: Per-long-poll park time for entry streams.
         shard_timeout: Overall per-shard streaming deadline, seconds.
         max_rounds: Dispatch-round budget; None sizes it to the fleet
@@ -94,13 +97,15 @@ class ClusterCoordinator:
                  endpoints: Sequence[Union[str, WorkerEndpoint]], *,
                  client_factory=None,
                  api_key: Optional[str] = None,
+                 trace_id: Optional[str] = None,
                  poll_timeout: float = 10.0,
                  shard_timeout: Optional[float] = None,
                  max_rounds: Optional[int] = None,
                  retry_delay: float = 0.2) -> None:
         self.topology = ClusterTopology(endpoints,
                                         client_factory=client_factory,
-                                        api_key=api_key)
+                                        api_key=api_key,
+                                        trace_id=trace_id)
         self.poll_timeout = poll_timeout
         self.shard_timeout = shard_timeout
         self.max_rounds = max_rounds or max(4, 2 * len(self.topology))

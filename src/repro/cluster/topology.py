@@ -19,6 +19,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.exceptions import ClusterError, ServiceError
 from repro.service.client import ServiceClient
+from repro.telemetry import (MetricsRegistry, coerce_trace_id,
+                             merge_expositions)
 
 
 class WorkerEndpoint:
@@ -48,7 +50,8 @@ class WorkerEndpoint:
     def __init__(self, url: str, client=None, *,
                  client_factory: Callable[[str], ServiceClient] = None,
                  weight: float = 1.0,
-                 api_key: Optional[str] = None) -> None:
+                 api_key: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
         self.url = url.rstrip("/")
         if not weight > 0:
             raise ClusterError(
@@ -58,7 +61,8 @@ class WorkerEndpoint:
             if client_factory is not None:
                 client = client_factory(self.url)
             else:
-                client = ServiceClient(self.url, api_key=api_key)
+                client = ServiceClient(self.url, api_key=api_key,
+                                       trace_id=trace_id)
         self.client = client
         self.alive = True
         self.last_error: Optional[str] = None
@@ -119,19 +123,28 @@ class ClusterTopology:
             ``X-Repro-Key`` header (the coordinator's principal,
             forwarded to each shard); ignored for prebuilt endpoints
             and when ``client_factory`` is given.
+        trace_id: Trace id every built client sends as its
+            ``X-Repro-Trace`` header, so one cluster sweep's job
+            records share an id across every shard; same overrides as
+            ``api_key``.
     """
 
     def __init__(self,
                  endpoints: Sequence[Union[str, WorkerEndpoint]], *,
                  client_factory: Callable[[str], ServiceClient] = None,
-                 api_key: Optional[str] = None) -> None:
+                 api_key: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
         self._endpoints: "OrderedDict[str, WorkerEndpoint]" = OrderedDict()
         self._lock = threading.Lock()
+        # Minted here (not per endpoint) so every shard of a fan-out
+        # carries the same id even when the caller passed none.
+        trace_id = coerce_trace_id(trace_id)
         for endpoint in endpoints:
             if not isinstance(endpoint, WorkerEndpoint):
                 endpoint = WorkerEndpoint(endpoint,
                                           client_factory=client_factory,
-                                          api_key=api_key)
+                                          api_key=api_key,
+                                          trace_id=trace_id)
             self._endpoints.setdefault(endpoint.url, endpoint)
         if not self._endpoints:
             raise ClusterError("a cluster needs at least one worker "
@@ -244,6 +257,34 @@ class ClusterTopology:
             "registered": len(self),
             "reachable": reachable,
         }
+
+    def fleet_metrics(self) -> str:
+        """One ``GET /metrics`` scrape per endpoint, merged.
+
+        Every worker's exposition is merged into one (each sample
+        gains a ``worker="<url>"`` label; see
+        :func:`repro.telemetry.merge_expositions`), plus a synthesized
+        ``repro_worker_up`` gauge: 1 for workers that answered the
+        scrape, 0 for unreachable ones — so the merged exposition shows
+        a hole in the fleet instead of silently shrinking it.
+        """
+        texts: Dict[str, str] = {}
+        synth = MetricsRegistry()
+        up = synth.gauge("repro_worker_up",
+                         "1 when the worker answered the metrics scrape.",
+                         labelnames=("worker",))
+        for endpoint in self:
+            scrape = getattr(endpoint.client, "metrics_text", None)
+            try:
+                if scrape is None:
+                    raise ServiceError(
+                        f"client for {endpoint.url} has no metrics_text()")
+                texts[endpoint.url] = scrape()
+            except ServiceError:
+                up.labels(worker=endpoint.url).set(0)
+                continue
+            up.labels(worker=endpoint.url).set(1)
+        return merge_expositions(texts) + synth.render()
 
     def __repr__(self) -> str:
         return (f"ClusterTopology(registered={len(self)}, "

@@ -40,6 +40,7 @@ from repro.ir.gates import inverse_gate_name
 from repro.ir.program import CallStmt, GateStmt, Program, QModule, Qubit, Statement
 from repro.scheduler.asap import GateScheduler
 from repro.scheduler.tracker import LivenessTracker
+from repro.telemetry.timing import PhaseTimer
 
 
 @dataclass(frozen=True)
@@ -162,6 +163,11 @@ class SquareCompiler:
             (overrides ``config.allocation``).
         reclamation_policy: Optional explicit reclamation policy instance
             (overrides ``config.reclamation``).
+        phase_timing: Record per-phase compile seconds into
+            :attr:`CompilationResult.phase_seconds` (on by default; the
+            timer costs well under a percent of compile time, and the
+            flag is deliberately *not* part of :class:`CompilerConfig`
+            so toggling it never changes a job fingerprint).
     """
 
     def __init__(
@@ -170,6 +176,8 @@ class SquareCompiler:
         config: Optional[CompilerConfig] = None,
         allocation_policy: Optional[AllocationPolicy] = None,
         reclamation_policy: Optional[ReclamationPolicy] = None,
+        *,
+        phase_timing: bool = True,
     ) -> None:
         self.machine = machine
         self.config = config or POLICY_PRESETS["square"]
@@ -179,6 +187,8 @@ class SquareCompiler:
             reclamation_policy = create_reclamation_policy(self.config.reclamation)
         self.allocation_policy = allocation_policy
         self.reclamation_policy = reclamation_policy
+        self.phase_timing = phase_timing
+        self._timer: Optional[PhaseTimer] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -186,7 +196,17 @@ class SquareCompiler:
     def compile(self, program: Program) -> CompilationResult:
         """Compile ``program`` and return the scheduled-resource summary."""
         started = _time.perf_counter()
+        # Exclusive-attribution phase profile (see PhaseTimer): the
+        # walk runs under "mapping_routing", and _allocate_ancillas /
+        # _process_free carve their own spans out of it, so the phases
+        # sum to ~the whole compile.
+        timer = PhaseTimer() if self.phase_timing else None
+        self._timer = timer
+        if timer is not None:
+            timer.push("validate")
         program.validate()
+        if timer is not None:
+            timer.pop()
         self.machine.reset_communication_state()
         self._tracker = LivenessTracker()
         self._scheduler = GateScheduler(
@@ -202,9 +222,14 @@ class SquareCompiler:
         self._static_cache: Dict[int, int] = {}
 
         entry = program.entry
+        if timer is not None:
+            timer.push("mapping_routing")
         param_virtuals = self._place_entry_params(entry)
         binding = dict(zip(entry.params, param_virtuals))
         self._exec_call_with_binding(entry, binding, level=0, parent=None)
+        if timer is not None:
+            timer.pop()
+            timer.push("liveness")
         self._tracker.finalize(self._scheduler.makespan)
 
         final_sites = tuple(
@@ -212,6 +237,11 @@ class SquareCompiler:
             for virtual in range(self._next_virtual)
             if self._scheduler.layout.is_placed(virtual)
         )
+        if timer is not None:
+            timer.pop()
+        phase_seconds = ({name: timer.seconds[name]
+                          for name in sorted(timer.seconds)}
+                         if timer is not None else {})
         elapsed = _time.perf_counter() - started
         return CompilationResult(
             program_name=program.name,
@@ -231,6 +261,7 @@ class SquareCompiler:
             final_sites=final_sites,
             num_entry_params=len(entry.params),
             compile_seconds=elapsed,
+            phase_seconds=phase_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -350,6 +381,19 @@ class SquareCompiler:
     # Allocation and reclamation
     # ------------------------------------------------------------------
     def _allocate_ancillas(self, module: QModule, frame: _Frame) -> List[int]:
+        """Phase-timed wrapper: allocation spans carve out of whatever
+        phase is active (the walk, or a reclamation replay)."""
+        timer = self._timer
+        if timer is None:
+            return self._allocate_ancillas_inner(module, frame)
+        timer.push("allocation")
+        try:
+            return self._allocate_ancillas_inner(module, frame)
+        finally:
+            timer.pop()
+
+    def _allocate_ancillas_inner(self, module: QModule,
+                                 frame: _Frame) -> List[int]:
         per_ancilla, fallback = self._interaction_anchors(module, frame)
         now = self._scheduler.current_time()
         allocated: List[int] = []
@@ -401,6 +445,22 @@ class SquareCompiler:
 
     def _process_free(self, module: QModule, frame: _Frame, record: CallRecord,
                       parent: Optional[_Frame]) -> None:
+        """Phase-timed wrapper: the reclamation decision plus any
+        uncompute emission it triggers count as "reclamation" (nested
+        allocation during a replay re-carves itself back out)."""
+        timer = self._timer
+        if timer is None:
+            self._process_free_inner(module, frame, record, parent)
+            return
+        timer.push("reclamation")
+        try:
+            self._process_free_inner(module, frame, record, parent)
+        finally:
+            timer.pop()
+
+    def _process_free_inner(self, module: QModule, frame: _Frame,
+                            record: CallRecord,
+                            parent: Optional[_Frame]) -> None:
         if parent is None:
             # Top level: the program ends here, so there is nothing to gain
             # from uncomputing — the remaining garbage is simply measured

@@ -138,6 +138,15 @@ class CompilationResult:
     final_sites: Tuple[Tuple[int, int], ...] = ()
     num_entry_params: int = 0
     compile_seconds: float = 0.0
+    #: Exclusive per-phase compile seconds from the compiler's
+    #: :class:`~repro.telemetry.PhaseTimer` (``validate`` /
+    #: ``allocation`` / ``reclamation`` / ``liveness`` /
+    #: ``mapping_routing``).  Pure telemetry: excluded from equality
+    #: and from :meth:`to_dict` — like verification timing, repeat
+    #: compiles must compare equal and serialize byte-identically no
+    #: matter how long each phase took.
+    phase_seconds: Dict[str, float] = field(default_factory=dict,
+                                            compare=False)
 
     # ------------------------------------------------------------------
     @property

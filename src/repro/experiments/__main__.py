@@ -28,6 +28,8 @@ Examples::
         --journal tune.jsonl --export-best best.json
     python -m repro.experiments cluster-stats \\
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
+    python -m repro.experiments metrics \\
+        --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
 """
 
 from __future__ import annotations
@@ -275,6 +277,26 @@ def _run_cluster_stats(args: argparse.Namespace) -> str:
     return text
 
 
+def _run_metrics(args: argparse.Namespace) -> str:
+    """Scrape `/metrics` from one server, or a merged fleet exposition.
+
+    One ``--endpoint`` prints the worker's exposition verbatim (pipe it
+    straight into promtool or a file_sd scrape); several endpoints
+    print :meth:`~repro.cluster.ClusterTopology.fleet_metrics` — every
+    sample gains a ``worker`` label plus a synthesized
+    ``repro_worker_up`` gauge per endpoint.
+    """
+    if len(args.endpoint) == 1:
+        from repro.service.client import ServiceClient
+
+        return ServiceClient(args.endpoint[0],
+                             api_key=args.api_key).metrics_text()
+    from repro.cluster import ClusterTopology
+
+    return ClusterTopology(args.endpoint,
+                           api_key=args.api_key).fleet_metrics()
+
+
 def _run_verify(session: Session,
                 args: argparse.Namespace) -> tuple[str, list, int]:
     """Compile and statically verify; non-zero exit on any finding."""
@@ -350,15 +372,18 @@ def main(argv: list[str] | None = None) -> int:
                                                        "serve",
                                                        "cluster-sweep",
                                                        "tune",
-                                                       "cluster-stats"],
+                                                       "cluster-stats",
+                                                       "metrics"],
                         help="which table/figure to regenerate, `sweep` / "
                              "`compile` for ad-hoc jobs, `verify` to "
                              "compile and statically check results "
                              "(non-zero exit on findings), `serve` to "
                              "expose the session over HTTP, `cluster-sweep` "
                              "to shard a sweep across running servers, "
-                             "`tune` to auto-search the policy space, or "
-                             "`cluster-stats` to aggregate fleet telemetry")
+                             "`tune` to auto-search the policy space, "
+                             "`cluster-stats` to aggregate fleet telemetry, "
+                             "or `metrics` to scrape the Prometheus "
+                             "exposition from one server or a whole fleet")
     parser.add_argument("names", nargs="*",
                         help="benchmark names for `sweep`/`verify` "
                              "(default: all) and `compile`")
@@ -416,11 +441,12 @@ def main(argv: list[str] | None = None) -> int:
                              "carry the verification report)")
     parser.add_argument("--api-key", metavar="KEY",
                         help="tenant API key sent as X-Repro-Key by "
-                             "`cluster-sweep`, `cluster-stats` and `tune`")
+                             "`cluster-sweep`, `cluster-stats`, `metrics` "
+                             "and `tune`")
     parser.add_argument("--endpoint", action="append", metavar="URL",
                         help="compile-server URL for `cluster-sweep`, "
-                             "`cluster-stats` and `tune`; repeat for each "
-                             "worker in the fleet")
+                             "`cluster-stats`, `metrics` and `tune`; "
+                             "repeat for each worker in the fleet")
     parser.add_argument("--strategy", default="halving",
                         choices=["halving", "grid", "random"],
                         help="search strategy for `tune` (halving races "
@@ -460,13 +486,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.verify:
             parser.error("--verify only applies to `serve`; use the "
                          "`verify` command for local sweeps")
-    if args.experiment not in ("cluster-sweep", "cluster-stats", "tune"):
+    if args.experiment not in ("cluster-sweep", "cluster-stats", "tune",
+                               "metrics"):
         if args.endpoint:
             parser.error("--endpoint only applies to `cluster-sweep`, "
-                         "`cluster-stats` and `tune`")
+                         "`cluster-stats`, `metrics` and `tune`")
         if args.api_key:
             parser.error("--api-key only applies to `cluster-sweep`, "
-                         "`cluster-stats` and `tune`")
+                         "`cluster-stats`, `metrics` and `tune`")
     if args.experiment != "tune":
         for flag, given in (("--strategy", args.strategy != "halving"),
                             ("--trials", args.trials is not None),
@@ -482,6 +509,15 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("cluster-stats needs at least one --endpoint URL "
                          "(repeat the flag for each worker)")
         print(_run_cluster_stats(args))
+        return 0
+    if args.experiment == "metrics":
+        if not args.endpoint:
+            parser.error("metrics needs at least one --endpoint URL "
+                         "(one prints that worker's exposition verbatim; "
+                         "several print the merged fleet exposition)")
+        # No trailing print()-added newline padding: the exposition is
+        # machine-readable and already ends with exactly one newline.
+        sys.stdout.write(_run_metrics(args))
         return 0
     if args.experiment == "tune":
         if args.endpoint and (args.jobs != 1 or args.cache_dir):

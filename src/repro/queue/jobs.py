@@ -69,6 +69,10 @@ class QueuedJob:
         tenant: The :class:`~repro.tenancy.tenants.Tenant` principal
             the job was submitted as, or None (pre-tenancy callers);
             drives per-tenant quotas and fair-share scheduling.
+        trace_id: Request-trace correlation id (the ``X-Repro-Trace``
+            header value, server-minted when absent).  Carried on the
+            record, journaled with it, and propagated to cluster shards
+            so one client request can be followed across the fleet.
         deadline_seconds: Optional client-declared time budget; the
             fair-share scheduler raises a job's urgency as it burns
             through it.
@@ -95,6 +99,7 @@ class QueuedJob:
         self.priority = priority
         self.state = QUEUED
         self.tenant = None
+        self.trace_id: Optional[str] = None
         self.deadline_seconds: Optional[float] = None
         self.retries = 0
         self.enqueued_at: Optional[float] = None
@@ -210,6 +215,7 @@ class QueuedJob:
             "state": self.state,
             "priority": self.priority,
             "tenant": self.tenant.name if self.tenant is not None else None,
+            "trace_id": self.trace_id,
             "retries": self.retries,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -243,6 +249,7 @@ class QueuedJob:
             from repro.tenancy.tenants import Tenant
 
             job.tenant = Tenant.from_dict(tenant)
+        job.trace_id = record.get("trace_id")
         job.deadline_seconds = record.get("deadline_seconds")
         job.retries = int(record.get("retries", 0))
         state = record.get("state", QUEUED)

@@ -37,6 +37,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -53,6 +54,7 @@ from repro.queue.jobs import (
 )
 from repro.queue.queue import JobQueue
 from repro.queue.workers import WorkerPool
+from repro.telemetry.timing import EwmaRate
 
 #: Per-tenant lifecycle counter keys (the ``tenants`` stats section).
 _TENANT_COUNTERS = ("submitted", "completed", "failed", "cancelled",
@@ -82,12 +84,15 @@ class JobManager:
         max_requeues: How many times a job orphaned RUNNING by a crash
             is requeued before being marked FAILED instead (guards
             against a poison job crash-looping the server forever).
+        clock: Monotonic time source for the entries/sec EWMA gauge;
+            injectable so frozen-clock tests get deterministic rates.
     """
 
     def __init__(self, runner: Callable[[QueuedJob], Dict[str, object]], *,
                  workers: int = 2, queue_size: int = 64,
                  retention: int = 256, name: str = "repro",
-                 scheduler=None, store=None, max_requeues: int = 1) -> None:
+                 scheduler=None, store=None, max_requeues: int = 1,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if retention < 0:
             raise ServiceError(f"retention must be >= 0, got {retention}")
         if max_requeues < 0:
@@ -113,6 +118,7 @@ class JobManager:
         self.recovered_terminal = 0
         self.orphans_failed = 0
         self._tenant_counters: Dict[str, Dict[str, int]] = {}
+        self._entry_rate = EwmaRate(half_life=30.0, clock=clock)
         self._crashed = False
         if store is not None:
             self._recover()
@@ -140,6 +146,16 @@ class JobManager:
             suffix = job.job_id.rsplit("-", 1)[-1]
             if suffix.isdigit():
                 max_id = max(max_id, int(suffix))
+            # Rebuild the per-tenant lifecycle counters the crash lost,
+            # so a restarted server's /stats and /metrics tenant series
+            # agree with the journal instead of starting from zero.
+            self._tenant_bump(job.tenant, "submitted")
+            if job.state == DONE:
+                self._tenant_bump(job.tenant, "completed")
+            elif job.state == FAILED:
+                self._tenant_bump(job.tenant, "failed")
+            elif job.state == CANCELLED:
+                self._tenant_bump(job.tenant, "cancelled")
             if job.is_terminal:
                 self.recovered_terminal += 1
                 continue
@@ -178,6 +194,7 @@ class JobManager:
         job.error = failure.to_dict()
         job.transition(FAILED)
         self.orphans_failed += 1
+        self._tenant_bump(job.tenant, "failed")
         self.store.record_transition(job)
 
     # ------------------------------------------------------------------
@@ -185,7 +202,8 @@ class JobManager:
     # ------------------------------------------------------------------
     def submit(self, kind: str, payload: Dict[str, object],
                priority: int = 0, tenant=None,
-               deadline_seconds: Optional[float] = None) -> QueuedJob:
+               deadline_seconds: Optional[float] = None,
+               trace_id: Optional[str] = None) -> QueuedJob:
         """Register and enqueue one job; returns its ticket immediately.
 
         Args:
@@ -198,6 +216,8 @@ class JobManager:
                 pre-tenancy callers; drives quotas and fair share.
             deadline_seconds: Optional client-declared time budget; the
                 scheduler raises urgency as the job burns through it.
+            trace_id: Request-trace correlation id attached to the
+                record (and its journal entry) for cross-fleet tracing.
 
         Raises:
             QuotaExceededError: The tenant is at its ``max_queued`` cap.
@@ -209,6 +229,7 @@ class JobManager:
                             priority=priority)
             job.tenant = tenant
             job.deadline_seconds = deadline_seconds
+            job.trace_id = trace_id
             self._jobs[job.job_id] = job
             try:
                 self.queue.push(job)
@@ -314,6 +335,7 @@ class JobManager:
         job.add_entry(record)
         with self._lock:
             self.entries_recorded += 1
+            self._entry_rate.mark()
             if self.store is not None:
                 self.store.record_entry(job.job_id, record)
 
@@ -506,6 +528,7 @@ class JobManager:
             retained = len(self._jobs)
             tenants = {name: dict(bucket)
                        for name, bucket in self._tenant_counters.items()}
+            entries_per_second = self._entry_rate.rate()
         stats = {
             "queue": self.queue.stats(),
             "pool": self.pool.stats(),
@@ -517,6 +540,7 @@ class JobManager:
             "retention": self.retention,
             "gc_dropped": self.gc_dropped,
             "entries_recorded": self.entries_recorded,
+            "entries_per_second": entries_per_second,
             "states": states,
             "tenants": tenants,
         }

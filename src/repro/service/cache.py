@@ -443,19 +443,28 @@ class DiskCache:
         return total
 
     def stats(self) -> Dict[str, object]:
-        """Counters + size, JSON-compatible (for service telemetry)."""
-        return {
-            "root": str(self.root),
-            "size": len(self),
-            "bytes": self.total_bytes(),
-            "max_bytes": self.max_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "corrupt": self.corrupt,
-            "writes": self.writes,
-            "evictions": self.evictions,
-            "orphans_removed": self.orphans_removed,
-        }
+        """Counters + size, JSON-compatible (for service telemetry).
+
+        The counters are snapshotted under the cache lock so one call
+        reports a mutually consistent set — a concurrent put cannot
+        show up in ``writes`` but not yet in ``evictions`` — which is
+        what lets ``/stats`` and ``/metrics`` agree on the disk tier.
+        """
+        size = len(self)
+        total = self.total_bytes()
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "size": size,
+                "bytes": total,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "writes": self.writes,
+                "evictions": self.evictions,
+                "orphans_removed": self.orphans_removed,
+            }
 
     def __repr__(self) -> str:
         return (f"DiskCache(root={str(self.root)!r}, size={len(self)}, "

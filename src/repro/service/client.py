@@ -52,6 +52,7 @@ from repro.api.job import CompileJob, MachineSpec
 from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.core.compiler import preset
 from repro.core.result import CompilationResult, JobFailure
+from repro.telemetry import TRACE_HEADER, coerce_trace_id
 
 #: Job states a ticket can never leave (mirror of repro.queue).
 _TERMINAL_STATES = ("DONE", "FAILED", "CANCELLED")
@@ -72,23 +73,32 @@ class ServiceClient:
         api_key: Tenant credential sent as the ``X-Repro-Key`` header on
             every request; None (default) makes keyless requests, which
             the server maps to its anonymous tenant.
+        trace_id: Request-trace correlation id sent as the
+            ``X-Repro-Trace`` header on every request; None (default)
+            mints a fresh id at construction, so all of one client's
+            requests — and the job records they create, on every
+            cluster shard — share one id.
     """
 
     def __init__(self, base_url: str, timeout: float = 300.0, *,
                  retries: int = 3, backoff: float = 0.2,
-                 api_key: Optional[str] = None) -> None:
+                 api_key: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.api_key = api_key
+        self.trace_id = coerce_trace_id(trace_id)
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
-                 payload: Optional[Mapping[str, object]] = None) -> Dict:
+                 payload: Optional[Mapping[str, object]] = None,
+                 raw: bool = False):
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": "application/json",
+                   TRACE_HEADER: self.trace_id}
         if self.api_key:
             headers["X-Repro-Key"] = self.api_key
         if payload is not None:
@@ -130,6 +140,8 @@ class ServiceClient:
                     f"connection to {self.base_url} failed mid-request "
                     f"on {path}: {error!r}"
                 ) from None
+        if raw:
+            return body.decode("utf-8")
         try:
             decoded = json.loads(body)
         except ValueError as error:
@@ -192,6 +204,15 @@ class ServiceClient:
     def stats(self) -> Dict:
         """``GET /stats`` payload (session/cache/telemetry counters)."""
         return self._get("/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the raw Prometheus text exposition.
+
+        Returned verbatim (not parsed), so a fleet merge or a file dump
+        preserves the worker's exact bytes; parse it client-side with
+        :func:`repro.telemetry.parse_exposition` when needed.
+        """
+        return self._request("GET", "/metrics", raw=True)
 
     def registry(self) -> Dict:
         """``GET /registry`` payload (benchmarks, policies, machines)."""

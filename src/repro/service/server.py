@@ -16,6 +16,9 @@ Endpoints (all JSON):
 
 * ``GET  /health``            — liveness probe.
 * ``GET  /stats``             — service/queue/session/cache counters.
+* ``GET  /metrics``           — the same snapshot as ``/stats``,
+  rendered as Prometheus text exposition (compile-phase histograms,
+  queue/worker/cache gauges, per-tenant counters); scrape it.
 * ``GET  /registry``          — benchmarks, policies, machine kinds,
   scales.
 * ``POST /compile``           — one job descriptor, synchronous
@@ -55,6 +58,13 @@ lifecycle event is journaled to an append-only WAL and replayed on
 restart: QUEUED work resumes, orphaned RUNNING jobs requeue, finished
 results are served byte-identically.
 
+Tracing: every request may carry an ``X-Repro-Trace`` id (client-minted
+by :class:`~repro.service.client.ServiceClient`); invalid or missing
+ids are replaced by a server-minted one.  The id is echoed on the
+response, attached to the job record (and its journal entry), and
+prefixed to verbose log lines, so one client request can be followed
+from CLI through queue, server and cluster shards.
+
 Start one from the CLI with ``python -m repro.experiments serve`` or
 programmatically with :func:`make_server`.
 """
@@ -66,7 +76,7 @@ import threading
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import (
     AuthError,
@@ -88,6 +98,7 @@ from repro.tenancy import (
     JsonlJobStore,
     coerce_registry,
 )
+from repro.telemetry import TRACE_HEADER, MetricsRegistry, coerce_trace_id
 from repro.workloads.registry import SCALES, benchmark_names
 
 #: Default TCP port for the compilation service.
@@ -144,6 +155,9 @@ class CompilationService:
             responses carry a ``verification`` report payload and
             ``/stats`` grows verifier counters.  Opt-in because the
             extra pass costs a fraction of compile time on every job.
+        clock: Monotonic time source for uptime, fair-share decay and
+            the entries/sec EWMA; injectable so frozen-clock tests can
+            assert two ``/metrics`` scrapes byte-identical.
     """
 
     def __init__(self, session: Optional[Session] = None, *, jobs: int = 1,
@@ -154,7 +168,8 @@ class CompilationService:
                  retention: int = 256,
                  tenants=None, store_dir: Optional[str] = None,
                  burst_half_life: float = DEFAULT_HALF_LIFE,
-                 verify: bool = False) -> None:
+                 verify: bool = False,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if session is None:
             if cache_dir is not None:
                 from repro.service.cache import DiskCache
@@ -168,16 +183,24 @@ class CompilationService:
         elif verify:
             session.verify = True
         self.session = session
+        self.metrics = MetricsRegistry()
+        if getattr(session, "metrics", None) is None:
+            # The session observes compile-phase histograms straight
+            # into the service registry; /metrics serves them live.
+            session.metrics = self.metrics
+        self.clock = clock
         self.tenants = coerce_registry(tenants)
-        self.scheduler = FairShareScheduler(half_life=burst_half_life)
+        self.scheduler = FairShareScheduler(half_life=burst_half_life,
+                                            clock=clock)
         self.store = JsonlJobStore(store_dir) if store_dir else None
         self.manager = JobManager(self._run_job, workers=workers,
                                   queue_size=queue_size,
                                   retention=retention, name="repro-service",
-                                  scheduler=self.scheduler, store=self.store)
+                                  scheduler=self.scheduler, store=self.store,
+                                  clock=clock)
         self._counters = threading.Lock()
         # Monotonic: uptime must survive wall-clock jumps (NTP, DST).
-        self.started_at = time.monotonic()
+        self.started_at = clock()
         self.requests = 0
         self.jobs_run = 0
         self.job_failures = 0
@@ -377,11 +400,13 @@ class CompilationService:
     # ------------------------------------------------------------------
     def _submit_and_wait(self, kind: str, work: Dict[str, object],
                          priority: int, tenant=None,
-                         deadline: Optional[float] = None
+                         deadline: Optional[float] = None,
+                         trace_id: Optional[str] = None
                          ) -> Dict[str, object]:
         ticket = self.manager.submit(kind, work, priority=priority,
                                      tenant=tenant,
-                                     deadline_seconds=deadline)
+                                     deadline_seconds=deadline,
+                                     trace_id=trace_id)
         ticket.wait()
         if ticket.state == DONE:
             return ticket.response
@@ -392,7 +417,8 @@ class CompilationService:
             f"(service shutting down?)")
 
     def compile(self, payload: Mapping[str, object],
-                tenant=None) -> Dict[str, object]:
+                tenant=None, trace_id: Optional[str] = None
+                ) -> Dict[str, object]:
         """Run one job descriptor synchronously; job-level failures ride
         inside the 200 response as structured error entries.
 
@@ -405,29 +431,34 @@ class CompilationService:
             raise ServiceError("/compile takes a single job descriptor; "
                                "POST sweeps to /sweep or /jobs")
         return self._submit_and_wait(kind, work, priority,
-                                     tenant=tenant, deadline=deadline)
+                                     tenant=tenant, deadline=deadline,
+                                     trace_id=trace_id)
 
     def sweep(self, payload: Mapping[str, object],
-              tenant=None) -> Dict[str, object]:
+              tenant=None, trace_id: Optional[str] = None
+              ) -> Dict[str, object]:
         """Run a sweep descriptor or explicit job list synchronously."""
         self._count_request()
         if "jobs" not in payload and "spec" not in payload:
             payload = {"spec": payload.get("spec", payload)}
         kind, work, priority, deadline = self._parse_submission(payload)
         return self._submit_and_wait(kind, work, priority,
-                                     tenant=tenant, deadline=deadline)
+                                     tenant=tenant, deadline=deadline,
+                                     trace_id=trace_id)
 
     # ------------------------------------------------------------------
     # Asynchronous endpoints
     # ------------------------------------------------------------------
     def submit_job(self, payload: Mapping[str, object],
-                   tenant=None) -> Dict[str, object]:
+                   tenant=None, trace_id: Optional[str] = None
+                   ) -> Dict[str, object]:
         """``POST /jobs``: validate, enqueue, return the ticket at once."""
         self._count_request()
         kind, work, priority, deadline = self._parse_submission(payload)
         ticket = self.manager.submit(kind, work, priority=priority,
                                      tenant=tenant,
-                                     deadline_seconds=deadline)
+                                     deadline_seconds=deadline,
+                                     trace_id=trace_id)
         return {
             "ok": True,
             "job_id": ticket.job_id,
@@ -435,6 +466,7 @@ class CompilationService:
             "state": ticket.state,
             "priority": ticket.priority,
             "tenant": ticket.tenant.name if ticket.tenant else None,
+            "trace_id": ticket.trace_id,
             "queue_depth": len(self.manager.queue),
         }
 
@@ -487,13 +519,14 @@ class CompilationService:
     # ------------------------------------------------------------------
     # Introspection endpoints
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, object]:
-        """Telemetry snapshot: service + queue/worker + session stats."""
-        self._count_request()
+    def _collect(self) -> Dict[str, object]:
+        """One stats snapshot — the single source for ``/stats`` *and*
+        ``/metrics``, so the two surfaces can never disagree about what
+        the service looked like at collection time."""
         manager = self.manager.stats()
         with self._counters:
             service = {
-                "uptime_seconds": time.monotonic() - self.started_at,
+                "uptime_seconds": self.clock() - self.started_at,
                 "requests": self.requests,
                 "jobs_run": self.jobs_run,
                 "job_failures": self.job_failures,
@@ -510,6 +543,141 @@ class CompilationService:
             "session": self.session.stats(),
             "tenants": self._tenant_stats(manager),
         }
+
+    def stats(self) -> Dict[str, object]:
+        """Telemetry snapshot: service + queue/worker + session stats."""
+        self._count_request()
+        return self._collect()
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: Prometheus text exposition of the registry.
+
+        Samples the authoritative counters (the same :meth:`_collect`
+        snapshot ``/stats`` serves) into the registry, then renders it
+        together with the live compile-phase histograms the session
+        observes directly.  Scrapes are deliberately *not* counted as
+        service requests: a scrape must not perturb what it measures,
+        which is also what makes two frozen-clock scrapes byte-identical.
+        """
+        snapshot = self._collect()
+        self._sample_metrics(snapshot)
+        return self.metrics.render()
+
+    def _sample_metrics(self, snapshot: Mapping[str, object]) -> None:
+        """Project one stats snapshot onto the metrics registry.
+
+        Counters are *sampled* (``Counter.set`` clamps monotonically)
+        rather than incremented at every site, so the manager/queue/
+        session counters stay authoritative and the registry can never
+        drift from what ``/stats`` reports.
+        """
+        service = snapshot["service"]
+        manager = snapshot["queue"]
+        session = snapshot["session"]
+        queue = manager["queue"]
+        counter, gauge = self.metrics.counter, self.metrics.gauge
+
+        gauge("repro_uptime_seconds",
+              "Service uptime (monotonic clock).").set(
+            service["uptime_seconds"])
+        counter("repro_requests_total",
+                "HTTP requests served (scrapes excluded).").set(
+            service["requests"])
+        counter("repro_jobs_run_total",
+                "Compile jobs executed by the workers.").set(
+            service["jobs_run"])
+        counter("repro_job_failures_total",
+                "Compile jobs that ended in a structured failure.").set(
+            service["job_failures"])
+
+        gauge("repro_queue_depth", "Jobs waiting in the queue.").set(
+            queue["depth"])
+        gauge("repro_queue_capacity",
+              "Queue back-pressure threshold.").set(queue["capacity"])
+        counter("repro_queue_pushed_total",
+                "Jobs accepted onto the queue.").set(queue["pushed"])
+        counter("repro_queue_rejected_total",
+                "Submissions rejected by global back-pressure.").set(
+            queue["rejected"])
+        counter("repro_queue_quota_rejected_total",
+                "Submissions rejected by per-tenant quotas.").set(
+            queue["quota_rejected"])
+        gauge("repro_workers", "Worker threads draining the queue.").set(
+            service["workers"])
+        gauge("repro_workers_busy",
+              "Worker threads currently running a job.").set(
+            service["busy_workers"])
+
+        counter("repro_jobs_submitted_total",
+                "Jobs registered by the manager.").set(manager["submitted"])
+        counter("repro_jobs_completed_total",
+                "Jobs that reached DONE.").set(manager["completed"])
+        counter("repro_jobs_failed_total",
+                "Jobs that reached FAILED.").set(manager["failed"])
+        counter("repro_jobs_cancelled_total",
+                "Jobs that reached CANCELLED.").set(manager["cancelled"])
+        counter("repro_entries_recorded_total",
+                "Per-entry sweep records streamed to clients.").set(
+            manager["entries_recorded"])
+        gauge("repro_entries_per_second",
+              "Half-life-decayed EWMA of entry completion rate.").set(
+            manager["entries_per_second"])
+
+        hits = counter("repro_cache_hits_total",
+                       "Result-cache hits by tier.", labelnames=("tier",))
+        misses = counter("repro_cache_misses_total",
+                         "Result-cache misses by tier.",
+                         labelnames=("tier",))
+        entries = gauge("repro_cache_entries",
+                        "Result-cache entries by tier.",
+                        labelnames=("tier",))
+        hits.labels(tier="memory").set(session["cache_hits"])
+        misses.labels(tier="memory").set(session["cache_misses"])
+        entries.labels(tier="memory").set(session["cache_size"])
+        disk = session.get("disk_cache")
+        if disk:
+            hits.labels(tier="disk").set(disk["hits"])
+            misses.labels(tier="disk").set(disk["misses"])
+            entries.labels(tier="disk").set(disk["size"])
+            gauge("repro_cache_bytes", "Result-cache bytes by tier.",
+                  labelnames=("tier",)).labels(tier="disk").set(
+                disk["bytes"])
+            counter("repro_cache_evictions_total",
+                    "Cache entries evicted by the size cap.",
+                    labelnames=("tier",)).labels(tier="disk").set(
+                disk["evictions"])
+            counter("repro_cache_orphans_removed_total",
+                    "Orphaned cache files removed by gc.",
+                    labelnames=("tier",)).labels(tier="disk").set(
+                disk["orphans_removed"])
+
+        verify = session.get("verify")
+        if verify:
+            counter("repro_verify_results_total",
+                    "Results checked by the static verifier.").set(
+                verify["verified_results"])
+            counter("repro_verify_findings_total",
+                    "Findings raised by the static verifier.").set(
+                verify["findings"])
+
+        tenant_families = {
+            key: counter(f"repro_tenant_{key}_total",
+                         f"Jobs {key} per tenant.", labelnames=("tenant",))
+            for key in ("submitted", "completed", "failed", "cancelled",
+                        "rejected")}
+        queued = gauge("repro_tenant_queued",
+                       "Jobs waiting in the queue per tenant.",
+                       labelnames=("tenant",))
+        burst = gauge("repro_tenant_burst_score",
+                      "Decayed fair-share burst score per tenant.",
+                      labelnames=("tenant",))
+        for name, bucket in snapshot["tenants"].items():
+            for key, family in tenant_families.items():
+                if key in bucket:
+                    family.labels(tenant=name).set(bucket[key])
+            queued.labels(tenant=name).set(bucket.get("queued", 0))
+            if "burst_score" in bucket:
+                burst.labels(tenant=name).set(bucket["burst_score"])
 
     @staticmethod
     def _tenant_stats(manager: Dict[str, object]) -> Dict[str, object]:
@@ -540,7 +708,7 @@ class CompilationService:
         """Liveness payload (includes worker liveness for probes)."""
         self._count_request()
         return {"status": "ok",
-                "uptime_seconds": time.monotonic() - self.started_at,
+                "uptime_seconds": self.clock() - self.started_at,
                 "workers_alive": self.manager.pool.alive}
 
 
@@ -559,9 +727,16 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
     server_version = "ReproCompilationService/2.0"
     protocol_version = "HTTP/1.1"
 
-    _KNOWN = ["GET /health", "GET /stats", "GET /registry", "GET /jobs",
-              "GET /jobs/<id>", "GET /jobs/<id>/entries", "POST /compile",
-              "POST /sweep", "POST /jobs", "POST /jobs/<id>/cancel"]
+    _KNOWN = ["GET /health", "GET /stats", "GET /metrics", "GET /registry",
+              "GET /jobs", "GET /jobs/<id>", "GET /jobs/<id>/entries",
+              "POST /compile", "POST /sweep", "POST /jobs",
+              "POST /jobs/<id>/cancel"]
+
+    #: Prometheus text exposition content type (``GET /metrics``).
+    _METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    #: The request's coerced trace id (set per request in ``_route``).
+    _trace_id: Optional[str] = None
 
     @staticmethod
     def _query_int(params: Dict[str, List[str]], name: str):
@@ -588,13 +763,25 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                 f"query parameter {name}={raw!r} is not a number")
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes,
+                   content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            # Echo the (possibly server-minted) trace id, so a client
+            # that sent none learns the id its job records carry.
+            self.send_header(TRACE_HEADER, self._trace_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Mapping[str, object]) -> None:
+        self._send_body(status, json.dumps(payload).encode("utf-8"),
+                        "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_body(status, text.encode("utf-8"),
+                        self._METRICS_CONTENT_TYPE)
 
     def _send_error_json(self, status: int, error: Exception) -> None:
         record: Dict[str, object] = {
@@ -626,14 +813,19 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
         ``tenant`` is the already-authenticated request principal; only
         the submission endpoints consume it (reads are tenant-blind).
+        A call returning a string is sent as Prometheus text exposition
+        instead of JSON (the ``/metrics`` surface).
         """
         service: CompilationService = self.server.service
+        trace = self._trace_id
         parts = [part for part in path.split("/") if part]
         if method == "GET":
             if path == "/health":
                 return service.health
             if path == "/stats":
                 return service.stats
+            if path == "/metrics":
+                return service.metrics_text
             if path == "/registry":
                 return service.registry
             if path == "/jobs":
@@ -654,12 +846,14 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                     timeout=self._query_float(params, "timeout"))
         else:
             if path == "/compile":
-                return lambda: service.compile(self._read_payload(), tenant)
+                return lambda: service.compile(self._read_payload(), tenant,
+                                               trace_id=trace)
             if path == "/sweep":
-                return lambda: service.sweep(self._read_payload(), tenant)
+                return lambda: service.sweep(self._read_payload(), tenant,
+                                             trace_id=trace)
             if path == "/jobs":
                 return lambda: service.submit_job(self._read_payload(),
-                                                  tenant)
+                                                  tenant, trace_id=trace)
             if len(parts) == 3 and parts[0] == "jobs" \
                     and parts[2] == "cancel":
                 return lambda: service.cancel_job(parts[1])
@@ -667,6 +861,10 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     def _route(self, method: str) -> None:
         path, _, query = self.path.partition("?")
+        # Valid inbound trace ids propagate; anything else (including
+        # absence) gets a fresh server-minted id, so every job record
+        # and verbose log line carries one.
+        self._trace_id = coerce_trace_id(self.headers.get(TRACE_HEADER))
         try:
             service: CompilationService = self.server.service
             tenant = service.authenticate(self.headers.get(AUTH_HEADER))
@@ -690,7 +888,10 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         except Exception as error:  # pragma: no cover - defensive 500
             self._send_error_json(500, error)
         else:
-            self._send_json(200, response)
+            if isinstance(response, str):
+                self._send_text(200, response)
+            else:
+                self._send_json(200, response)
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -701,6 +902,8 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:
         if getattr(self.server, "verbose", False):
+            if self._trace_id:
+                format = f"[trace={self._trace_id}] {format}"
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
 

@@ -1,0 +1,56 @@
+"""repro.telemetry — stdlib-only metrics, phase timing, and tracing.
+
+Three small pieces, one observability story:
+
+* :mod:`repro.telemetry.metrics` — thread-safe Counter / Gauge /
+  Histogram families in a :class:`MetricsRegistry`, rendered as
+  deterministic Prometheus text exposition (plus a minimal parser and
+  a fleet-merge helper for multi-worker scrapes);
+* :mod:`repro.telemetry.timing` — :class:`PhaseTimer` (stack-based,
+  exclusive attribution; the compiler's per-phase profiler) and
+  :class:`EwmaRate` (half-life-decayed events/sec gauge);
+* :mod:`repro.telemetry.trace` — ``X-Repro-Trace`` id minting and
+  propagation helpers.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    format_value,
+    merge_expositions,
+    parse_exposition,
+)
+from repro.telemetry.timing import (
+    EwmaRate,
+    PhaseTimer,
+    half_life_decay,
+)
+from repro.telemetry.trace import (
+    TRACE_HEADER,
+    coerce_trace_id,
+    new_trace_id,
+    valid_trace_id,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "format_value",
+    "merge_expositions",
+    "parse_exposition",
+    "EwmaRate",
+    "PhaseTimer",
+    "half_life_decay",
+    "TRACE_HEADER",
+    "coerce_trace_id",
+    "new_trace_id",
+    "valid_trace_id",
+]

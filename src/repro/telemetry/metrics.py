@@ -1,0 +1,469 @@
+"""Stdlib-only metrics core: counters, gauges, histograms, a registry,
+and a Prometheus text-exposition renderer.
+
+Design constraints, in order:
+
+* **Deterministic rendering.**  Two scrapes of the same registry state
+  are byte-identical: families render sorted by name, samples sorted by
+  label values, numbers format through one canonical function, and the
+  exposition carries no timestamps.  (The service's frozen-clock scrape
+  test depends on this.)
+* **Thread-safe.**  Every family shares one registry lock; increments
+  and scrapes can race freely with worker threads.
+* **Sampled counters.**  The service stack already keeps authoritative
+  counters (queue pushed/rejected, session cache hits, tenant
+  lifecycle tallies).  Rather than double-count, those are *sampled*
+  into registry families at scrape time via :meth:`Counter.set`, so
+  ``/stats`` and ``/metrics`` can never disagree — both read the same
+  snapshot.
+* **Fixed bucket edges.**  Histograms use deterministic, fixed edges
+  (:data:`DEFAULT_BUCKETS`), never adaptive ones, so merged fleet
+  scrapes line up bucket-for-bucket across workers.
+
+The module also ships a *minimal* exposition parser and a fleet-merge
+helper (:func:`parse_exposition`, :func:`merge_expositions`) used by
+:meth:`repro.cluster.ClusterTopology.fleet_metrics` to merge every
+worker's scrape under ``worker=<url>`` labels.  The test suite keeps
+its own independent parser, so the renderer is not checked against
+itself.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Fixed histogram bucket edges (seconds), chosen to straddle the
+#: microsecond-to-minutes range compile phases and scrapes live in.
+#: Deterministic and identical on every worker, so fleet merges align.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def format_value(value: float) -> str:
+    """Canonical, deterministic number formatting for the exposition.
+
+    Integral values render without a fraction (``3`` not ``3.0``) and
+    everything else through :func:`repr`, which round-trips floats
+    exactly — two scrapes of one state can never differ in formatting.
+    """
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if math.isnan(number):
+        return "NaN"
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(text: str) -> str:
+    return (text.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _label_block(pairs: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(f'{key}="{_escape_label(value)}"'
+                        for key, value in pairs)
+    return "{" + rendered + "}" if rendered else ""
+
+
+class _Child:
+    """One labeled series inside a family; shares the registry lock."""
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+
+
+class Counter(_Child):
+    """Monotonic counter.  ``set`` exists for *sampling* an external
+    authoritative counter into the registry and never moves backwards
+    (a restart that rebuilds state lower is clamped, not negated)."""
+
+    def __init__(self, lock: threading.RLock) -> None:
+        super().__init__(lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: float) -> None:
+        """Sample an external monotonic counter (scrape-time sync)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Child):
+    """A value that can go anywhere: depths, scores, rates, sizes."""
+
+    def __init__(self, lock: threading.RLock) -> None:
+        super().__init__(lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Child):
+    """Fixed-bucket histogram (cumulative ``le`` semantics at render)."""
+
+    def __init__(self, lock: threading.RLock,
+                 edges: Tuple[float, ...]) -> None:
+        super().__init__(lock)
+        self._edges = edges
+        self._counts = [0] * (len(edges) + 1)  # last bucket is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_edge, count)`` pairs ending at +Inf."""
+        with self._lock:
+            counts = list(self._counts)
+        total = 0
+        out: List[Tuple[float, int]] = []
+        for edge, count in zip(self._edges, counts):
+            total += count
+            out.append((edge, total))
+        out.append((math.inf, total + counts[-1]))
+        return out
+
+
+class MetricFamily:
+    """A named metric plus its labeled children.
+
+    An unlabeled family has exactly one child (empty label tuple) and
+    proxies the child's mutators, so ``registry.counter("x").inc()``
+    works without a ``labels()`` hop.
+    """
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: Tuple[str, ...], lock: threading.RLock,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label == "le":
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._buckets = tuple(buckets)
+        if self.kind == "histogram" and not all(
+                a < b for a, b in zip(self._buckets, self._buckets[1:])):
+            raise ValueError("histogram bucket edges must increase")
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    def _make_child(self) -> _Child:
+        if self.kind == "counter":
+            return Counter(self._lock)
+        if self.kind == "gauge":
+            return Gauge(self._lock)
+        return Histogram(self._lock, self._buckets)
+
+    def labels(self, **label_values: str):
+        """Get or create the child for one label-value combination."""
+        if set(label_values) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(label_values))}")
+        key = tuple(str(label_values[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    # Unlabeled-family conveniences -----------------------------------
+    def _solo(self) -> _Child:
+        if self.labelnames:
+            raise ValueError(f"{self.name} is labeled; use .labels()")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)  # type: ignore[attr-defined]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)  # type: ignore[attr-defined]
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)  # type: ignore[attr-defined]
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)  # type: ignore[attr-defined]
+
+    @property
+    def value(self) -> float:
+        return self._solo().value  # type: ignore[attr-defined]
+
+    @property
+    def count(self) -> int:
+        return self._solo().count  # type: ignore[attr-defined]
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum  # type: ignore[attr-defined]
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        return self._solo().buckets()  # type: ignore[attr-defined]
+
+    # Introspection ----------------------------------------------------
+    def samples(self) -> Dict[Tuple[str, ...], float]:
+        """Label-values tuple -> current value (histograms: the sum)."""
+        with self._lock:
+            children = dict(self._children)
+        out: Dict[Tuple[str, ...], float] = {}
+        for key, child in sorted(children.items()):
+            if isinstance(child, Histogram):
+                out[key] = child.sum
+            else:
+                out[key] = child.value  # type: ignore[attr-defined]
+        return out
+
+    def render(self) -> List[str]:
+        """Exposition lines for this family (sorted, deterministic)."""
+        lines = [f"# HELP {self.name} {_escape_help(self.help)}",
+                 f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            children = sorted(self._children.items())
+        for key, child in children:
+            pairs = list(zip(self.labelnames, key))
+            if isinstance(child, Histogram):
+                for edge, cumulative in child.buckets():
+                    bucket_pairs = pairs + [("le", format_value(edge))]
+                    lines.append(f"{self.name}_bucket"
+                                 f"{_label_block(bucket_pairs)} "
+                                 f"{cumulative}")
+                lines.append(f"{self.name}_sum{_label_block(pairs)} "
+                             f"{format_value(child.sum)}")
+                lines.append(f"{self.name}_count{_label_block(pairs)} "
+                             f"{child.count}")
+            else:
+                value = child.value  # type: ignore[attr-defined]
+                lines.append(f"{self.name}{_label_block(pairs)} "
+                             f"{format_value(value)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Process-wide (or per-component) family registry.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for an
+    existing name returns the existing family (and re-declaring it with
+    a different shape is an error, not a silent fork).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, help_text: str, kind: str,
+                labelnames: Tuple[str, ...],
+                buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+                ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind \
+                        or family.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.labelnames}, cannot "
+                        f"re-register as {kind}{tuple(labelnames)}")
+                return family
+            family = MetricFamily(name, help_text, kind,
+                                  tuple(labelnames), self._lock, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Tuple[str, ...] = ()) -> MetricFamily:
+        return self._family(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Tuple[str, ...] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> MetricFamily:
+        return self._family(name, help_text, "histogram", labelnames,
+                            buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name]
+                    for name in sorted(self._families)]
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (timestamp-free)."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, Dict[Tuple[str, ...], float]]:
+        """Family name -> ``samples()`` map; one consistent read used
+        to derive both ``/stats`` sections and ad-hoc assertions."""
+        return {family.name: family.samples()
+                for family in self.families()}
+
+
+# ----------------------------------------------------------------------
+# Minimal exposition parsing + fleet merge
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)\s*$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(text: str) -> str:
+    return (text.replace(r'\"', '"').replace(r"\n", "\n")
+            .replace(r"\\", "\\"))
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text into a family map.
+
+    Returns ``{family: {"help": str, "type": str, "samples":
+    [(sample_name, [(label, value), ...], raw_value), ...]}}``.  Samples
+    are attributed to the family whose header most recently preceded
+    them (the shape this module's renderer and any conformant exporter
+    produce).  Raw value strings are preserved so a merge never
+    reformats another worker's numbers.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    current: Optional[str] = None
+
+    def family(name: str) -> Dict[str, object]:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"help": "", "type": "untyped", "samples": []}
+            families[name] = entry
+        return entry
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            family(name)["help"] = help_text
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            family(name)["type"] = kind.strip()
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        sample_name = match.group("name")
+        labels = [(key, _unescape_label(value)) for key, value
+                  in _LABEL_PAIR_RE.findall(match.group("labels") or "")]
+        owner = current
+        if owner is None or not sample_name.startswith(owner):
+            owner = sample_name
+        family(owner)["samples"].append(  # type: ignore[union-attr]
+            (sample_name, labels, match.group("value")))
+    return families
+
+
+def merge_expositions(texts: Dict[str, str],
+                      label: str = "worker") -> str:
+    """Merge several workers' scrapes into one exposition.
+
+    Every sample gains a ``label=<worker key>`` pair.  Families are
+    deduplicated on their first HELP/TYPE header and rendered sorted by
+    family name; within a family, samples keep each worker's original
+    order (already deterministic, and histogram buckets must stay in
+    increasing ``le`` order) with workers visited in sorted order — so
+    merging the same fleet state twice is byte-identical regardless of
+    dict order.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for worker in sorted(texts):
+        for name, entry in parse_exposition(texts[worker]).items():
+            target = merged.setdefault(
+                name, {"help": entry["help"], "type": entry["type"],
+                       "samples": []})
+            for sample_name, pairs, raw in entry["samples"]:  # type: ignore[union-attr]
+                tagged = [(label, worker)] + [
+                    (key, value) for key, value in pairs if key != label]
+                target["samples"].append(  # type: ignore[union-attr]
+                    (sample_name, tagged, raw))
+    lines: List[str] = []
+    for name in sorted(merged):
+        entry = merged[name]
+        if entry["help"]:
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['type']}")
+        for sample_name, pairs, raw in entry["samples"]:  # type: ignore[union-attr]
+            lines.append(f"{sample_name}{_label_block(pairs)} {raw}")
+    return "\n".join(lines) + "\n" if lines else ""

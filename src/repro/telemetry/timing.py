@@ -1,0 +1,111 @@
+"""Monotonic timing primitives: phase timers and decayed rate gauges.
+
+Everything here measures *durations*, so only :func:`time.monotonic` /
+:func:`time.perf_counter` (or an injected test clock) are acceptable —
+lint rule LR005 enforces that for this package and for the compiler's
+phase timers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+
+def half_life_decay(elapsed: float, half_life: float) -> float:
+    """The exponential decay factor after ``elapsed`` seconds.
+
+    Shared by the fair-share burst scores
+    (:class:`repro.tenancy.fairshare.BurstScoreManager`) and
+    :class:`EwmaRate`, so "half-life" means exactly the same thing on
+    every decayed quantity the service reports.
+    """
+    if elapsed <= 0.0:
+        return 1.0
+    return 0.5 ** (elapsed / half_life)
+
+
+class PhaseTimer:
+    """Stack-based phase timer with *exclusive* (self-time) attribution.
+
+    Pushing an inner phase pauses the outer one, so the per-phase
+    seconds sum to (almost exactly) the total wall time of the outer
+    span — a nested ``allocation`` inside ``reclamation`` charges
+    allocation, not both.  Built for hot paths: ``push``/``pop`` are
+    two clock reads and a dict update, no context-manager machinery.
+
+    Args:
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    __slots__ = ("_clock", "_stack", "seconds")
+
+    def __init__(self, *,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        #: Active phases, innermost last: ``[name, segment_start]``.
+        self._stack: List[List] = []
+        #: Accumulated exclusive seconds per phase name.
+        self.seconds: Dict[str, float] = {}
+
+    def push(self, phase: str) -> None:
+        now = self._clock()
+        stack = self._stack
+        if stack:
+            top = stack[-1]
+            self.seconds[top[0]] = self.seconds.get(top[0], 0.0) \
+                + (now - top[1])
+            top[1] = now
+        stack.append([phase, now])
+
+    def pop(self) -> None:
+        now = self._clock()
+        name, started = self._stack.pop()
+        self.seconds[name] = self.seconds.get(name, 0.0) + (now - started)
+        if self._stack:
+            self._stack[-1][1] = now  # resume the outer phase
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class EwmaRate:
+    """Exponentially-decayed events-per-second gauge.
+
+    Keeps a half-life-decayed event count; at a steady rate ``r`` the
+    decayed count converges to ``r * tau`` (``tau = half_life / ln 2``),
+    so ``rate() = count / tau`` reads the recent throughput and decays
+    toward zero when traffic stops.  Decay is applied lazily on
+    ``mark``/``rate``, making the gauge exact under an injected frozen
+    clock (two reads with no time passing are identical).
+    """
+
+    _LN2 = 0.6931471805599453
+
+    def __init__(self, half_life: float = 30.0, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if half_life <= 0:
+            raise ValueError(f"half_life must be > 0, got {half_life}")
+        self.half_life = float(half_life)
+        self._clock = clock
+        self._count = 0.0
+        self._updated = clock()
+        self.total = 0
+
+    def _decay_to_now(self) -> None:
+        now = self._clock()
+        self._count *= half_life_decay(now - self._updated,
+                                       self.half_life)
+        self._updated = now
+
+    def mark(self, count: int = 1) -> None:
+        """Record ``count`` events now."""
+        self._decay_to_now()
+        self._count += count
+        self.total += count
+
+    def rate(self) -> float:
+        """Current decayed throughput in events per second."""
+        self._decay_to_now()
+        return self._count * self._LN2 / self.half_life

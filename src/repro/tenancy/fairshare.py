@@ -33,6 +33,7 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.exceptions import ServiceError
+from repro.telemetry.timing import half_life_decay
 
 #: Default burst-score half-life, seconds.  After one half-life of
 #: silence a tenant's accumulated burst penalty halves.
@@ -68,7 +69,7 @@ class BurstScoreManager:
         score, at = self._scores.get(tenant, (0.0, now))
         if score <= 0.0:
             return 0.0
-        return score * 0.5 ** (max(0.0, now - at) / self.half_life)
+        return score * half_life_decay(now - at, self.half_life)
 
     # ------------------------------------------------------------------
     def record(self, tenant: str, cost: float = 1.0) -> float:

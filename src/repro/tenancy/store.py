@@ -60,6 +60,7 @@ def job_snapshot(job) -> Dict[str, object]:
         "payload": job.payload,
         "priority": job.priority,
         "tenant": tenant.to_dict() if tenant is not None else None,
+        "trace_id": getattr(job, "trace_id", None),
         "deadline_seconds": getattr(job, "deadline_seconds", None),
         "state": job.state,
         "submitted_at": job.submitted_at,

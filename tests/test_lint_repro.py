@@ -94,6 +94,46 @@ def test_lock_free_class_is_not_checked(tmp_path):
     assert findings == []
 
 
+def test_telemetry_clock_flagged_in_telemetry_layer(tmp_path):
+    findings = _lint_source(tmp_path, "import time\nnow = time.time()\n",
+                            relative="telemetry/sample.py")
+    assert _rules(findings) == ["LR005"]
+
+
+def test_telemetry_clock_sees_through_module_alias(tmp_path):
+    # The compiler's phase timers import `time as _time`; the rule must
+    # catch the aliased wall-clock read, and the file is selected by
+    # exact path, not layer directory.
+    findings = _lint_source(
+        tmp_path,
+        "import time as _time\nstarted = _time.time()\n",
+        relative="core/compiler.py")
+    assert _rules(findings) == ["LR005"]
+
+
+def test_telemetry_clock_sees_from_import(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        "from time import time as now\nstamp = now()\n",
+        relative="telemetry/sample.py")
+    assert _rules(findings) == ["LR005"]
+
+
+def test_telemetry_clock_allows_monotonic_and_pragma(tmp_path):
+    source = ("import time\n"
+              "a = time.monotonic()\n"
+              "b = time.perf_counter()\n"
+              "c = time.time()  # lint: wall-clock\n")
+    findings = _lint_source(tmp_path, source, relative="telemetry/sample.py")
+    assert findings == []
+
+
+def test_telemetry_clock_ignored_outside_its_files(tmp_path):
+    findings = _lint_source(tmp_path, "import time\nnow = time.time()\n",
+                            relative="core/other.py")
+    assert findings == []
+
+
 def test_lint_off_pragma_disables_all_rules(tmp_path):
     findings = _lint_source(tmp_path,
                             "import time\nnow = time.time()  # lint: off\n")

@@ -19,6 +19,13 @@ generic linters don't know about:
   in one method but mutated bare in another method of the same class is
   a data race.  Constructors are exempt (no sharing yet); intentional
   unguarded writes carry ``# lint: unlocked``.
+* **LR005 telemetry-clock** — ``time.time()`` anywhere in
+  ``src/repro/telemetry/`` or in the compiler's phase timers
+  (``core/compiler.py``).  Timing instruments (histograms, EWMA rates,
+  phase timers) must read ``time.monotonic()`` or
+  ``time.perf_counter()``; a wall clock that steps under NTP produces
+  negative or wildly wrong durations.  Genuine timestamps are annotated
+  ``# lint: wall-clock`` like LR001.
 
 Suppression: a ``# lint: <tag>[, <tag>...]`` comment on the offending
 line disables the matching rule there (``# lint: off`` disables all).
@@ -52,10 +59,17 @@ RULES: Dict[str, Tuple[str, str]] = {
               "threads block interpreter exit"),
     "LR004": ("unlocked",
               "lock-guarded attribute mutated outside `with self.<lock>`"),
+    "LR005": ("wall-clock",
+              "time.time() in telemetry/phase-timing code; timing "
+              "instruments must use time.monotonic()/perf_counter()"),
 }
 
 #: Directory names whose files get the LR001 wall-clock rule.
 MONOTONIC_LAYERS = ("queue", "service", "cluster", "tenancy")
+
+#: Files whose durations feed metrics directly: the LR005 rule.
+TELEMETRY_LAYER = "telemetry"
+PHASE_TIMER_FILES = (("core", "compiler.py"),)
 
 _PRAGMA = re.compile(r"#\s*lint:\s*([\w\-, ]+)")
 
@@ -110,6 +124,46 @@ def _check_wall_clock(tree: ast.AST) -> Iterable[Tuple[int, str]]:
                    "time.time() used here; durations/deadlines need "
                    "time.monotonic() (annotate `# lint: wall-clock` for "
                    "genuine timestamps)")
+
+
+def _time_aliases(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """Names the ``time`` module (and its ``time`` function) is bound to.
+
+    Returns ``(module_names, function_names)`` covering ``import time``,
+    ``import time as _time`` and ``from time import time [as now]`` —
+    the phase timers alias the module, so a literal ``time.time`` match
+    would miss them.
+    """
+    modules: Set[str] = set()
+    functions: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+def _check_telemetry_clock(tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    modules, functions = _time_aliases(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        module_call = (isinstance(func, ast.Attribute)
+                       and func.attr == "time"
+                       and isinstance(func.value, ast.Name)
+                       and func.value.id in modules)
+        bare_call = (isinstance(func, ast.Name) and func.id in functions)
+        if module_call or bare_call:
+            yield (node.lineno,
+                   "wall clock read in timing instrumentation; use "
+                   "time.monotonic()/time.perf_counter() (annotate "
+                   "`# lint: wall-clock` for genuine timestamps)")
 
 
 def _check_bare_except(tree: ast.AST) -> Iterable[Tuple[int, str]]:
@@ -262,6 +316,9 @@ def lint_file(path: Path, root: Path) -> List[Finding]:
               ("LR004", _check_lock_guard)]
     if any(layer in relative.parts for layer in MONOTONIC_LAYERS):
         checks.insert(0, ("LR001", _check_wall_clock))
+    if (TELEMETRY_LAYER in relative.parts
+            or relative.parts[-2:] in [tuple(p) for p in PHASE_TIMER_FILES]):
+        checks.append(("LR005", _check_telemetry_clock))
     findings = []
     for rule, check in checks:
         for line, message in check(tree):

@@ -12,9 +12,13 @@ numbers the observability acceptance gate cares about:
   ``phase_timing=True`` divided by the same suite with it off.  The
   timers only earn their always-on default if this stays a rounding
   error; the ISSUE acceptance bar is < 2 %, asserted here.
+* **span-recording compile overhead** — compile time inside a live
+  ``SpanRecorder.span`` (plus the per-phase child spans
+  ``record_compile_spans`` synthesizes) divided by the same suite bare.
+  Same < 2 % bar: the waterfall must be free enough to leave on.
 
-The overhead run alternates off/on timings per compile, keeps each
-item's minimum on both sides, and takes the best of several whole-suite
+The overhead runs alternate off/on timings per compile, keep each
+item's minimum on both sides, and take the best of several whole-suite
 trials — so one scheduler hiccup cannot fake a regression.
 """
 
@@ -29,7 +33,8 @@ import pytest
 from repro.api import CompileJob, MachineSpec, Session
 from repro.core.compiler import SquareCompiler
 from repro.service.server import CompilationService
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, SpanRecorder
+from repro.telemetry.spans import record_compile_spans
 
 from benchmarks.conftest import run_once
 
@@ -177,4 +182,75 @@ def test_bench_phase_timing_overhead(benchmark):
     # The acceptance bar: always-on telemetry must be a rounding error.
     assert overhead < MAX_OVERHEAD_RATIO, (
         f"phase timing cost {overhead:.2%} of compile time "
+        f"(bar: {MAX_OVERHEAD_RATIO:.0%})")
+
+
+def _time_one_spanned(program, machine, config,
+                      recorder: SpanRecorder) -> float:
+    """One compile inside the full span path a worker job takes: a live
+    parent span plus the synthesized per-phase children."""
+    started = time.perf_counter()
+    with recorder.span("job.run") as parent:
+        result = SquareCompiler(machine, config).compile(program)
+        record_compile_spans(parent, [(program.name, result)])
+    return time.perf_counter() - started
+
+
+def _span_trial(triples, recorder: SpanRecorder) -> tuple:
+    """One whole-suite pass: sum of per-item minimums, bare and spanned.
+
+    Like :func:`_trial` the sides alternate per compile, but the order
+    within each pair also flips every repeat — whichever side runs
+    first in a pair pays any cold-cache / fresh-GC cost, so a fixed
+    order would bias one side systematically."""
+    total_bare = total_spanned = 0.0
+    for program, machine, config in triples:
+        bares, spanned = [], []
+        for repeat in range(REPEATS):
+            if repeat % 2:
+                spanned.append(
+                    _time_one_spanned(program, machine, config, recorder))
+                bares.append(_time_one(program, machine, config, True))
+            else:
+                bares.append(_time_one(program, machine, config, True))
+                spanned.append(
+                    _time_one_spanned(program, machine, config, recorder))
+        total_bare += min(bares)
+        total_spanned += min(spanned)
+    return total_bare, total_spanned
+
+
+def test_bench_span_recording_overhead(benchmark):
+    """Compile-time cost of span recording + phase bridging (< 2 %).
+
+    Both sides compile with phase timing on (its default), so the ratio
+    isolates exactly what PR 9 added: the contextvar push/pop, the ring
+    append, and the synthesized compile/phase child spans.
+    """
+    triples = _suite()
+    recorder = SpanRecorder()
+    _span_trial(triples, recorder)  # warm every code path once
+
+    def measure():
+        return [_span_trial(triples, recorder) for _ in range(TRIALS)]
+
+    trials = run_once(benchmark, measure)
+    ratios = sorted(spanned / bare - 1.0 for bare, spanned in trials)
+    overhead = ratios[0]  # best trial: the least noise-contaminated
+    baseline, spanned = min(trials)
+
+    stats = recorder.stats()
+    assert stats["recorded"] > 0  # spans really were recorded
+
+    benchmark.extra_info["overhead_ratio"] = round(overhead, 4)
+    RESULTS["compile_seconds_spans_off"] = round(baseline, 4)
+    RESULTS["compile_seconds_spans_on"] = round(spanned, 4)
+    RESULTS["span_overhead_ratio"] = round(overhead, 4)
+    RESULTS["span_overhead_trials"] = [round(r, 4) for r in ratios]
+    RESULTS["spans_recorded"] = stats["recorded"]
+
+    # ISSUE 9 acceptance bar: the waterfall must be cheap enough to
+    # leave on for every job.
+    assert overhead < MAX_OVERHEAD_RATIO, (
+        f"span recording cost {overhead:.2%} of compile time "
         f"(bar: {MAX_OVERHEAD_RATIO:.0%})")

@@ -30,6 +30,7 @@ from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.core.compiler import preset
 from repro.core.result import CompilationResult, JobFailure
 from repro.ir.program import Program
+from repro.telemetry.spans import child_span, record_compile_spans
 
 
 class _Flight:
@@ -158,38 +159,53 @@ class Session:
         resolved: Dict[str, CompilationResult] = {}
         mine: Dict[str, CompileJob] = {}
         theirs: Dict[str, _Flight] = {}
-        with self._lock:
-            for job, fingerprint in zip(jobs, fingerprints):
-                if (fingerprint in resolved or fingerprint in mine
-                        or fingerprint in theirs):
-                    continue
-                hit = self._cache.get(fingerprint)
-                if hit is not None:
-                    resolved[fingerprint] = hit
-                    continue
-                flight = self._inflight.get(fingerprint)
-                if flight is not None:
-                    theirs[fingerprint] = flight
-                else:
-                    self._inflight[fingerprint] = _Flight()
-                    mine[fingerprint] = job
+        # child_span is a no-op unless a span is already active (the
+        # service worker's job.run span) — plain library use stays at
+        # one contextvar read per tier.
+        with child_span("cache.memory") as memo_span:
+            with self._lock:
+                for job, fingerprint in zip(jobs, fingerprints):
+                    if (fingerprint in resolved or fingerprint in mine
+                            or fingerprint in theirs):
+                        continue
+                    hit = self._cache.get(fingerprint)
+                    if hit is not None:
+                        resolved[fingerprint] = hit
+                        continue
+                    flight = self._inflight.get(fingerprint)
+                    if flight is not None:
+                        theirs[fingerprint] = flight
+                    else:
+                        self._inflight[fingerprint] = _Flight()
+                        mine[fingerprint] = job
+            if memo_span is not None:
+                memo_span.labels["hits"] = str(len(resolved))
+                memo_span.labels["misses"] = str(len(mine) + len(theirs))
 
         failures: Dict[str, JobFailure] = {}
         disk_restored = set()
         fresh = set()
         try:
-            if self.disk_cache is not None:
-                for fingerprint in list(mine):
-                    restored = self.disk_cache.get(fingerprint)
-                    if restored is not None:
-                        resolved[fingerprint] = restored
-                        disk_restored.add(fingerprint)
-                        with self._lock:
-                            self.disk_hits += 1
-                        self._settle(fingerprint, restored)
-                        del mine[fingerprint]
+            if self.disk_cache is not None and mine:
+                with child_span("cache.disk") as disk_span:
+                    lookups = len(mine)
+                    for fingerprint in list(mine):
+                        restored = self.disk_cache.get(fingerprint)
+                        if restored is not None:
+                            resolved[fingerprint] = restored
+                            disk_restored.add(fingerprint)
+                            with self._lock:
+                                self.disk_hits += 1
+                            self._settle(fingerprint, restored)
+                            del mine[fingerprint]
+                    if disk_span is not None:
+                        disk_span.labels["lookups"] = str(lookups)
+                        disk_span.labels["hits"] = str(len(disk_restored))
             if mine:
-                outcomes = self._execute(list(mine.values()), isolate)
+                with child_span("session.compile",
+                                labels={"jobs": str(len(mine))}
+                                ) as compile_span:
+                    outcomes = self._execute(list(mine.values()), isolate)
                 if len(outcomes) != len(mine):
                     raise ExperimentError(
                         f"executor {self.executor!r} returned "
@@ -207,6 +223,15 @@ class Session:
                                                 job=mine[fingerprint])
                     self._settle(fingerprint, outcome)
                 fresh = set(mine)
+                if compile_span is not None:
+                    # Bridge the PhaseTimer output into the waterfall:
+                    # one synthesized compile span per fresh result with
+                    # a phase.<name> child per phase — the compiler
+                    # itself is never re-instrumented.
+                    record_compile_spans(
+                        compile_span,
+                        [(job.program_label, resolved.get(fingerprint))
+                         for fingerprint, job in mine.items()])
                 if self.metrics is not None:
                     self._observe_compile_metrics(resolved, fresh)
                 if self.disk_cache is not None:

@@ -350,6 +350,24 @@ class ClusterCoordinator:
             seen.add(fingerprint)
         return SweepResult(entries)
 
+    @property
+    def trace_id(self) -> str:
+        """The trace id every shard of this coordinator's fan-outs
+        carries (minted by the topology when the caller passed none)."""
+        return self.topology.trace_id
+
+    def collect_trace(self,
+                      trace_id: Optional[str] = None) -> Dict[str, object]:
+        """Collect and merge the fleet's span records for one trace.
+
+        Defaults to the coordinator's own :attr:`trace_id` — i.e. "the
+        waterfall of the sweeps this coordinator ran".  See
+        :meth:`~repro.cluster.topology.ClusterTopology.fleet_trace` for
+        the merge semantics (per-worker labels, deterministic order,
+        unreachable workers reported rather than dropped).
+        """
+        return self.topology.fleet_trace(trace_id)
+
     def stats(self) -> Dict[str, object]:
         """JSON-compatible coordinator + fleet telemetry."""
         return {

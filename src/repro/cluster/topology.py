@@ -138,13 +138,13 @@ class ClusterTopology:
         self._lock = threading.Lock()
         # Minted here (not per endpoint) so every shard of a fan-out
         # carries the same id even when the caller passed none.
-        trace_id = coerce_trace_id(trace_id)
+        self.trace_id = coerce_trace_id(trace_id)
         for endpoint in endpoints:
             if not isinstance(endpoint, WorkerEndpoint):
                 endpoint = WorkerEndpoint(endpoint,
                                           client_factory=client_factory,
                                           api_key=api_key,
-                                          trace_id=trace_id)
+                                          trace_id=self.trace_id)
             self._endpoints.setdefault(endpoint.url, endpoint)
         if not self._endpoints:
             raise ClusterError("a cluster needs at least one worker "
@@ -285,6 +285,50 @@ class ClusterTopology:
                 continue
             up.labels(worker=endpoint.url).set(1)
         return merge_expositions(texts) + synth.render()
+
+    def fleet_trace(self, trace_id: Optional[str] = None) -> Dict[str, object]:
+        """One ``GET /trace/<id>`` fetch per endpoint, merged.
+
+        Every worker's span records for ``trace_id`` (default: the
+        fleet's own trace id) merge into one list: each record gains a
+        ``worker`` label naming the shard that recorded it, duplicates
+        (same span id from the same worker) collapse, and the merged
+        list sorts deterministically by (start, name, span id) — ready
+        for :func:`repro.telemetry.render_waterfall`.  Workers that
+        cannot answer (unreachable, or a pre-span server) appear in the
+        ``workers`` map with ``reachable: False`` so the merged
+        waterfall shows the hole in the fleet instead of silently
+        shrinking it.
+        """
+        trace_id = coerce_trace_id(trace_id or self.trace_id)
+        merged: Dict[tuple, Dict[str, object]] = {}
+        workers: Dict[str, Dict[str, object]] = {}
+        for endpoint in self:
+            fetch = getattr(endpoint.client, "trace", None)
+            try:
+                if fetch is None:
+                    raise ServiceError(
+                        f"client for {endpoint.url} has no trace()")
+                payload = fetch(trace_id)
+            except ServiceError as error:
+                workers[endpoint.url] = {"reachable": False,
+                                         "error": str(error)}
+                continue
+            spans = payload.get("spans") or []
+            workers[endpoint.url] = {"reachable": True,
+                                     "spans": len(spans)}
+            for record in spans:
+                record = dict(record)
+                # Top-level key, not a label: render_waterfall shows it
+                # as an `@worker` suffix on every merged span's line.
+                record.setdefault("worker", endpoint.url)
+                merged[(endpoint.url, record.get("span_id"))] = record
+        ordered = sorted(merged.values(),
+                         key=lambda record: (record.get("start") or 0.0,
+                                             record.get("name") or "",
+                                             record.get("span_id") or ""))
+        return {"trace_id": trace_id, "count": len(ordered),
+                "spans": ordered, "workers": workers}
 
     def __repr__(self) -> str:
         return (f"ClusterTopology(registered={len(self)}, "

@@ -30,6 +30,10 @@ Examples::
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
     python -m repro.experiments metrics \\
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
+    python -m repro.experiments trace 4f2a... \\
+        --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
+    python -m repro.experiments profile RD53 ADDER4 \\
+        --policies eager square --grid 5 5 --scale quick
 """
 
 from __future__ import annotations
@@ -120,6 +124,9 @@ def _run_cluster_sweep(args: argparse.Namespace) -> tuple[str, list]:
               f"{entry.job.policy_label}: {status}", flush=True)
 
     coordinator = ClusterCoordinator(args.endpoint, api_key=args.api_key)
+    # Announced up front so `trace` can fetch the waterfall mid-flight
+    # (every shard of this sweep carries this one id).
+    print(f"[trace id: {coordinator.trace_id}]", flush=True)
     started = time.perf_counter()
     sweep = coordinator.run(spec, on_entry=progress)
     elapsed = time.perf_counter() - started
@@ -297,6 +304,53 @@ def _run_metrics(args: argparse.Namespace) -> str:
                            api_key=args.api_key).fleet_metrics()
 
 
+def _run_trace(args: argparse.Namespace) -> str:
+    """Fetch one trace's spans and render the ASCII waterfall.
+
+    One ``--endpoint`` renders that worker's view of the trace; several
+    render :meth:`~repro.cluster.ClusterTopology.fleet_trace` — the
+    merged fleet view, each span labelled with the worker that recorded
+    it — which is the full waterfall of a ``cluster-sweep`` (its trace
+    id is printed when the sweep starts).
+    """
+    from repro.telemetry import render_waterfall
+
+    trace_id = args.names[0]
+    if len(args.endpoint) == 1:
+        from repro.service.client import ServiceClient
+
+        payload = ServiceClient(args.endpoint[0],
+                                api_key=args.api_key).trace(trace_id)
+    else:
+        from repro.cluster import ClusterTopology
+
+        payload = ClusterTopology(args.endpoint,
+                                  api_key=args.api_key).fleet_trace(trace_id)
+        for url, worker in sorted(payload.get("workers", {}).items()):
+            if not worker.get("reachable"):
+                print(f"[{url} unreachable: {worker.get('error')}]",
+                      flush=True)
+    return render_waterfall(payload.get("spans") or [])
+
+
+def _run_profile(args: argparse.Namespace) -> tuple[str, list]:
+    """Profile fresh in-process compiles of the named benchmarks."""
+    from repro.profile import profile_benchmarks
+
+    benchmarks = tuple(args.names) or tuple(benchmark_names())
+    policies = tuple(args.policies or ["square"])
+    started = time.perf_counter()
+    report = profile_benchmarks(benchmarks, _machine_spec(args),
+                                policies=policies, scale=args.scale)
+    elapsed = time.perf_counter() - started
+    title = (f"Compile-path profile: {len(benchmarks)} benchmark(s) x "
+             f"{len(policies)} policy(ies) at scale {args.scale}")
+    text = (report.table(title)
+            + f"[{len(report)} fresh compile(s) profiled in "
+            f"{elapsed:.1f}s]\n")
+    return text, report.hotspots()
+
+
 def _run_verify(session: Session,
                 args: argparse.Namespace) -> tuple[str, list, int]:
     """Compile and statically verify; non-zero exit on any finding."""
@@ -373,7 +427,9 @@ def main(argv: list[str] | None = None) -> int:
                                                        "cluster-sweep",
                                                        "tune",
                                                        "cluster-stats",
-                                                       "metrics"],
+                                                       "metrics",
+                                                       "trace",
+                                                       "profile"],
                         help="which table/figure to regenerate, `sweep` / "
                              "`compile` for ad-hoc jobs, `verify` to "
                              "compile and statically check results "
@@ -382,11 +438,15 @@ def main(argv: list[str] | None = None) -> int:
                              "to shard a sweep across running servers, "
                              "`tune` to auto-search the policy space, "
                              "`cluster-stats` to aggregate fleet telemetry, "
-                             "or `metrics` to scrape the Prometheus "
-                             "exposition from one server or a whole fleet")
+                             "`metrics` to scrape the Prometheus "
+                             "exposition from one server or a whole fleet, "
+                             "`trace` to render a trace id's span "
+                             "waterfall, or `profile` to profile the "
+                             "compile path per phase")
     parser.add_argument("names", nargs="*",
-                        help="benchmark names for `sweep`/`verify` "
-                             "(default: all) and `compile`")
+                        help="benchmark names for `sweep`/`verify`/"
+                             "`profile` (default: all) and `compile`, or "
+                             "the trace id for `trace`")
     parser.add_argument("--scale", default="laptop", choices=list(SCALES),
                         help="benchmark size scale for the large benchmarks")
     parser.add_argument("--shots", type=int, default=2048,
@@ -396,7 +456,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--export", metavar="PATH",
                         help="write result rows to PATH (.json or .csv)")
     parser.add_argument("--policies", "--policy", nargs="+", metavar="POLICY",
-                        help="policy presets for `sweep`/`compile` "
+                        help="policy presets for `sweep`/`compile`/"
+                             "`profile` "
                              f"(default: {' '.join(DEFAULT_POLICIES)})")
     parser.add_argument("--machine", default="nisq",
                         choices=["nisq", "nisq-full", "ft", "ideal"],
@@ -441,12 +502,12 @@ def main(argv: list[str] | None = None) -> int:
                              "carry the verification report)")
     parser.add_argument("--api-key", metavar="KEY",
                         help="tenant API key sent as X-Repro-Key by "
-                             "`cluster-sweep`, `cluster-stats`, `metrics` "
-                             "and `tune`")
+                             "`cluster-sweep`, `cluster-stats`, `metrics`, "
+                             "`trace` and `tune`")
     parser.add_argument("--endpoint", action="append", metavar="URL",
                         help="compile-server URL for `cluster-sweep`, "
-                             "`cluster-stats`, `metrics` and `tune`; "
-                             "repeat for each worker in the fleet")
+                             "`cluster-stats`, `metrics`, `trace` and "
+                             "`tune`; repeat for each worker in the fleet")
     parser.add_argument("--strategy", default="halving",
                         choices=["halving", "grid", "random"],
                         help="search strategy for `tune` (halving races "
@@ -487,13 +548,13 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--verify only applies to `serve`; use the "
                          "`verify` command for local sweeps")
     if args.experiment not in ("cluster-sweep", "cluster-stats", "tune",
-                               "metrics"):
+                               "metrics", "trace"):
         if args.endpoint:
             parser.error("--endpoint only applies to `cluster-sweep`, "
-                         "`cluster-stats`, `metrics` and `tune`")
+                         "`cluster-stats`, `metrics`, `trace` and `tune`")
         if args.api_key:
             parser.error("--api-key only applies to `cluster-sweep`, "
-                         "`cluster-stats`, `metrics` and `tune`")
+                         "`cluster-stats`, `metrics`, `trace` and `tune`")
     if args.experiment != "tune":
         for flag, given in (("--strategy", args.strategy != "halving"),
                             ("--trials", args.trials is not None),
@@ -518,6 +579,31 @@ def main(argv: list[str] | None = None) -> int:
         # No trailing print()-added newline padding: the exposition is
         # machine-readable and already ends with exactly one newline.
         sys.stdout.write(_run_metrics(args))
+        return 0
+    if args.experiment == "trace":
+        if not args.endpoint:
+            parser.error("trace needs at least one --endpoint URL "
+                         "(one renders that worker's view; several "
+                         "render the merged fleet waterfall)")
+        if len(args.names) != 1:
+            parser.error("trace takes exactly one trace id, e.g. "
+                         "`python -m repro.experiments trace <id> "
+                         "--endpoint http://127.0.0.1:8731` "
+                         "(cluster-sweep prints its id when it starts)")
+        sys.stdout.write(_run_trace(args))
+        return 0
+    if args.experiment == "profile":
+        if args.jobs != 1 or args.cache_dir:
+            parser.error("--jobs/--cache-dir do not apply to `profile`; "
+                         "phase timings only exist on fresh in-process "
+                         "compiles")
+        text, rows = _run_profile(args)
+        print(text)
+        if args.export:
+            from repro.analysis.report import export_rows
+
+            export_rows(rows, path=args.export)
+            print(f"[exported {len(rows)} rows to {args.export}]")
         return 0
     if args.experiment == "tune":
         if args.endpoint and (args.jobs != 1 or args.cache_dir):

@@ -1,0 +1,30 @@
+"""repro.profile: the deterministic compile-path profiler.
+
+Pairs each compile phase's wall seconds with machine-independent work
+counters (gates flattened, router swaps, liveness segments, reclamation
+heap decisions) so throughput — gates/sec through a phase — is the
+comparable unit across machines and across time.  See
+:mod:`repro.profile.profiler` for the model and
+``benchmarks/test_bench_compile.py`` for the ``BENCH_compile.json``
+artifact this feeds.
+"""
+
+from repro.profile.profiler import (
+    COUNTER_UNITS,
+    PHASE_WORK,
+    JobProfile,
+    ProfileReport,
+    profile_benchmarks,
+    profile_results,
+    result_counters,
+)
+
+__all__ = [
+    "COUNTER_UNITS",
+    "PHASE_WORK",
+    "JobProfile",
+    "ProfileReport",
+    "profile_benchmarks",
+    "profile_results",
+    "result_counters",
+]

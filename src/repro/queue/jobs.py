@@ -73,6 +73,12 @@ class QueuedJob:
             header value, server-minted when absent).  Carried on the
             record, journaled with it, and propagated to cluster shards
             so one client request can be followed across the fleet.
+        span_parent: Span id of the submitting handler's span, or None.
+            Stamped by the manager at submission (under its lock) so the
+            worker can parent its ``queue.wait``/``job.run`` spans to
+            the handler — contextvars do not cross the queue.  Never
+            journaled: spans live in a process-local ring buffer, so
+            after a restart there is no parent span to link to.
         deadline_seconds: Optional client-declared time budget; the
             fair-share scheduler raises a job's urgency as it burns
             through it.
@@ -100,6 +106,7 @@ class QueuedJob:
         self.state = QUEUED
         self.tenant = None
         self.trace_id: Optional[str] = None
+        self.span_parent: Optional[str] = None
         self.deadline_seconds: Optional[float] = None
         self.retries = 0
         self.enqueued_at: Optional[float] = None

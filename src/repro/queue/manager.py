@@ -54,6 +54,7 @@ from repro.queue.jobs import (
 )
 from repro.queue.queue import JobQueue
 from repro.queue.workers import WorkerPool
+from repro.telemetry.spans import current_span
 from repro.telemetry.timing import EwmaRate
 
 #: Per-tenant lifecycle counter keys (the ``tenants`` stats section).
@@ -139,6 +140,15 @@ class JobManager:
         terminal records come back verbatim — their journaled response
         is what ``GET /jobs/<id>`` serves, byte-identical to pre-crash.
         """
+        snapshot = self.store.load_burst()
+        if snapshot and self.scheduler is not None:
+            # Seed the journaled burst scores, decayed by the downtime.
+            # Wall clock by design: the snapshot stamp predates this
+            # process, so a monotonic delta would be meaningless.
+            now = time.time()  # lint: wall-clock (journal stamp delta)
+            elapsed = now - float(snapshot.get("at") or 0.0)
+            self.scheduler.restore_burst(snapshot.get("scores") or {},
+                                         max(0.0, elapsed))
         max_id = 0
         for record in self.store.load():
             job = QueuedJob.from_snapshot(record)
@@ -230,6 +240,11 @@ class JobManager:
             job.tenant = tenant
             job.deadline_seconds = deadline_seconds
             job.trace_id = trace_id
+            # Stamp the submitting span (if any) before the push: a
+            # worker may pop and run the job before submit() returns,
+            # so this cannot wait until after the ticket comes back.
+            active = current_span()
+            job.span_parent = active.span_id if active is not None else None
             self._jobs[job.job_id] = job
             try:
                 self.queue.push(job)
@@ -243,6 +258,15 @@ class JobManager:
             self._tenant_bump(tenant, "submitted")
             if self.store is not None:
                 self.store.record_submit(job)
+                if self.scheduler is not None:
+                    # Journal the burst-score table alongside the
+                    # submission that just charged it, stamped with wall
+                    # time — the only clock that survives a restart — so
+                    # a flooding tenant cannot reset its penalty by
+                    # crashing the server.
+                    self.store.record_burst(
+                        self.scheduler.burst.scores(),
+                        time.time())  # lint: wall-clock (journal stamp)
             self._gc_locked()
             return job
 

@@ -52,7 +52,7 @@ from repro.api.job import CompileJob, MachineSpec
 from repro.api.sweep import SweepEntry, SweepResult, SweepSpec
 from repro.core.compiler import preset
 from repro.core.result import CompilationResult, JobFailure
-from repro.telemetry import TRACE_HEADER, coerce_trace_id
+from repro.telemetry import TRACE_HEADER, SpanRecorder, coerce_trace_id
 
 #: Job states a ticket can never leave (mirror of repro.queue).
 _TERMINAL_STATES = ("DONE", "FAILED", "CANCELLED")
@@ -78,23 +78,41 @@ class ServiceClient:
             mints a fresh id at construction, so all of one client's
             requests — and the job records they create, on every
             cluster shard — share one id.
+        spans: Optional :class:`~repro.telemetry.SpanRecorder`.  When
+            attached, every request records a client-side
+            ``client.request`` span under the client's trace id — the
+            client end of the waterfall whose server end ``GET
+            /trace/<id>`` returns.  None (default) records nothing and
+            costs nothing.
     """
 
     def __init__(self, base_url: str, timeout: float = 300.0, *,
                  retries: int = 3, backoff: float = 0.2,
                  api_key: Optional[str] = None,
-                 trace_id: Optional[str] = None) -> None:
+                 trace_id: Optional[str] = None,
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.api_key = api_key
         self.trace_id = coerce_trace_id(trace_id)
+        self.spans = spans
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
                  payload: Optional[Mapping[str, object]] = None,
                  raw: bool = False):
+        if self.spans is None:
+            return self._send(method, path, payload, raw)
+        with self.spans.span("client.request", trace_id=self.trace_id,
+                             labels={"method": method,
+                                     "path": path.partition("?")[0]}):
+            return self._send(method, path, payload, raw)
+
+    def _send(self, method: str, path: str,
+              payload: Optional[Mapping[str, object]] = None,
+              raw: bool = False):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json",
@@ -217,6 +235,11 @@ class ServiceClient:
     def registry(self) -> Dict:
         """``GET /registry`` payload (benchmarks, policies, machines)."""
         return self._get("/registry")
+
+    def trace(self, trace_id: Optional[str] = None) -> Dict:
+        """``GET /trace/<id>``: the server's recorded spans for one
+        trace (defaults to this client's own trace id)."""
+        return self._get(f"/trace/{trace_id or self.trace_id}")
 
     # ------------------------------------------------------------------
     def compile_job(self, job: Union[CompileJob, Mapping[str, object]]

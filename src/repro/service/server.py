@@ -19,6 +19,11 @@ Endpoints (all JSON):
 * ``GET  /metrics``           — the same snapshot as ``/stats``,
   rendered as Prometheus text exposition (compile-phase histograms,
   queue/worker/cache gauges, per-tenant counters); scrape it.
+* ``GET  /trace/<id>``        — every span recorded under one trace id
+  (handler, queue wait, worker execution, cache tiers, compile
+  phases); the ``trace`` CLI renders the payload as a waterfall and
+  :meth:`~repro.cluster.topology.ClusterTopology.fleet_trace` merges
+  it across shards.
 * ``GET  /registry``          — benchmarks, policies, machine kinds,
   scales.
 * ``POST /compile``           — one job descriptor, synchronous
@@ -98,7 +103,13 @@ from repro.tenancy import (
     JsonlJobStore,
     coerce_registry,
 )
-from repro.telemetry import TRACE_HEADER, MetricsRegistry, coerce_trace_id
+from repro.telemetry import (
+    TRACE_HEADER,
+    MetricsRegistry,
+    SpanRecorder,
+    coerce_trace_id,
+    valid_trace_id,
+)
 from repro.workloads.registry import SCALES, benchmark_names
 
 #: Default TCP port for the compilation service.
@@ -184,6 +195,9 @@ class CompilationService:
             session.verify = True
         self.session = session
         self.metrics = MetricsRegistry()
+        # Per-service span ring buffer (not process-global): in-process
+        # multi-server tests must never see each other's traces.
+        self.spans = SpanRecorder()
         if getattr(session, "metrics", None) is None:
             # The session observes compile-phase histograms straight
             # into the service registry; /metrics serves them live.
@@ -301,12 +315,35 @@ class CompilationService:
     # Worker side: executing queued payloads against the session
     # ------------------------------------------------------------------
     def _run_job(self, queued: QueuedJob) -> Dict[str, object]:
-        """Worker entry point: dispatch one queued payload by kind."""
-        if queued.kind == "compile":
-            return self._execute_compile(queued)
-        if queued.kind == "sweep":
-            return self._execute_sweep(queued)
-        raise ServiceError(f"unknown job kind {queued.kind!r}")
+        """Worker entry point: record queue wait, then dispatch by kind.
+
+        Runs on a worker thread, so the submitting handler's span (if
+        any) is linked through the ``span_parent`` id stamped on the job
+        at submission — contextvars do not cross the queue.  The queue
+        wait itself is reconstructed here as a pre-finished span (the
+        job was not *doing* anything, so there was nothing to close) and
+        observed into the ``repro_queue_wait_seconds`` histogram at
+        event time.
+        """
+        trace = coerce_trace_id(queued.trace_id)
+        parent = getattr(queued, "span_parent", None)
+        wait = queued.wait_seconds
+        if wait is not None:
+            self.metrics.histogram(
+                "repro_queue_wait_seconds",
+                "Seconds between enqueue and worker pickup.").observe(wait)
+            self.spans.add("queue.wait", trace_id=trace, parent_id=parent,
+                           start_mono=time.perf_counter() - wait,
+                           duration=wait,
+                           labels={"job_id": queued.job_id})
+        with self.spans.span("job.run", trace_id=trace, parent_id=parent,
+                             labels={"job_id": queued.job_id,
+                                     "kind": queued.kind}):
+            if queued.kind == "compile":
+                return self._execute_compile(queued)
+            if queued.kind == "sweep":
+                return self._execute_sweep(queued)
+            raise ServiceError(f"unknown job kind {queued.kind!r}")
 
     def _execute_compile(self, queued: QueuedJob) -> Dict[str, object]:
         job = CompileJob.from_dict(queued.payload["job"])
@@ -694,6 +731,23 @@ class CompilationService:
             tenants.setdefault(name, {})["burst_score"] = score
         return tenants
 
+    def trace(self, trace_id: str) -> Dict[str, object]:
+        """``GET /trace/<id>``: every recorded span of one trace.
+
+        Spans come back deterministically ordered (start, name,
+        span_id) in their ``to_dict`` wire form; the ``trace`` CLI
+        renders them as a waterfall and the cluster topology merges
+        payloads from every shard of a fan-out (same trace id, disjoint
+        span ids).  An unknown-but-valid id returns an empty list — the
+        ring buffer may simply have evicted it.
+        """
+        self._count_request()
+        if not valid_trace_id(trace_id):
+            raise ServiceError(f"invalid trace id {trace_id!r}")
+        spans = self.spans.for_trace(trace_id)
+        return {"trace_id": trace_id, "count": len(spans),
+                "spans": [span.to_dict() for span in spans]}
+
     def registry(self) -> Dict[str, object]:
         """What the service can compile: benchmarks, policies, machines."""
         self._count_request()
@@ -728,6 +782,7 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     _KNOWN = ["GET /health", "GET /stats", "GET /metrics", "GET /registry",
+              "GET /trace/<id>",
               "GET /jobs", "GET /jobs/<id>", "GET /jobs/<id>/entries",
               "POST /compile", "POST /sweep", "POST /jobs",
               "POST /jobs/<id>/cancel"]
@@ -835,6 +890,8 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                 state = params.get("status", params.get("state", [None]))[0]
                 return lambda: service.list_jobs(
                     state=state, limit=self._query_int(params, "limit"))
+            if len(parts) == 2 and parts[0] == "trace":
+                return lambda: service.trace(parts[1])
             if len(parts) == 2 and parts[0] == "jobs":
                 return lambda: service.job_status(parts[1])
             if len(parts) == 3 and parts[0] == "jobs" \
@@ -874,7 +931,19 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                     f"unknown endpoint {method} {path!r}; "
                     f"available: {self._KNOWN}"))
                 return
-            response = call()
+            if method == "POST":
+                # Submissions get a handler span: the queue worker
+                # links its spans back to it through the job's
+                # ``span_parent`` id.  GET traffic (status polls,
+                # scrapes, trace fetches) stays span-free so a sweep's
+                # waterfall is not buried under its own polling.
+                with service.spans.span("server.handle",
+                                        trace_id=self._trace_id,
+                                        labels={"method": method,
+                                                "path": path}):
+                    response = call()
+            else:
+                response = call()
         except AuthError as error:
             self._send_error_json(401, error)
         except QuotaExceededError as error:

@@ -10,7 +10,10 @@ Three small pieces, one observability story:
   exclusive attribution; the compiler's per-phase profiler) and
   :class:`EwmaRate` (half-life-decayed events/sec gauge);
 * :mod:`repro.telemetry.trace` — ``X-Repro-Trace`` id minting and
-  propagation helpers.
+  propagation helpers;
+* :mod:`repro.telemetry.spans` — :class:`Span` / :class:`SpanRecorder`
+  waterfalls on top of the trace ids, and the deterministic ASCII
+  renderer behind the ``trace`` CLI subcommand.
 """
 
 from repro.telemetry.metrics import (
@@ -23,6 +26,14 @@ from repro.telemetry.metrics import (
     format_value,
     merge_expositions,
     parse_exposition,
+)
+from repro.telemetry.spans import (
+    Span,
+    SpanRecorder,
+    child_span,
+    current_span,
+    record_compile_spans,
+    render_waterfall,
 )
 from repro.telemetry.timing import (
     EwmaRate,
@@ -46,6 +57,12 @@ __all__ = [
     "format_value",
     "merge_expositions",
     "parse_exposition",
+    "Span",
+    "SpanRecorder",
+    "child_span",
+    "current_span",
+    "record_compile_spans",
+    "render_waterfall",
     "EwmaRate",
     "PhaseTimer",
     "half_life_decay",

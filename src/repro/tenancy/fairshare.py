@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.exceptions import ServiceError
 from repro.telemetry.timing import half_life_decay
@@ -102,6 +102,30 @@ class BurstScoreManager:
                             if score > _BURST_EPSILON}
             return {tenant: score for tenant, score in fresh.items()
                     if score > _BURST_EPSILON}
+
+    def restore(self, scores: Mapping[str, float],
+                elapsed: float = 0.0) -> Dict[str, float]:
+        """Re-seed journaled scores after a restart, decayed by downtime.
+
+        ``elapsed`` is the *wall-clock* seconds since the snapshot was
+        journaled — the monotonic clock does not survive a restart, so
+        the decay earned while the server was down is applied here,
+        once, before the scores re-enter the monotonic domain.  Entries
+        decayed below the epsilon stay out of the table; returns what
+        was actually restored.  A flooding tenant's penalty therefore
+        survives a crash but still ages out on the normal half-life
+        schedule.
+        """
+        now = self._clock()
+        factor = half_life_decay(max(0.0, elapsed), self.half_life)
+        restored: Dict[str, float] = {}
+        with self._lock:
+            for tenant, score in scores.items():
+                decayed = float(score) * factor
+                if decayed > _BURST_EPSILON:
+                    self._scores[tenant] = (decayed, now)
+                    restored[tenant] = decayed
+        return restored
 
     def __repr__(self) -> str:
         return (f"BurstScoreManager(half_life={self.half_life}, "
@@ -180,6 +204,12 @@ class FairShareScheduler:
             return float(max(1, len(benchmarks) * len(machines)
                              * len(policies) * len(scales)))
         return 1.0
+
+    def restore_burst(self, scores: Mapping[str, float],
+                      elapsed: float = 0.0) -> Dict[str, float]:
+        """Recovery hook: re-seed a journaled burst-score snapshot (see
+        :meth:`BurstScoreManager.restore`)."""
+        return self.burst.restore(scores, elapsed)
 
     # ------------------------------------------------------------------
     def score(self, job, now: Optional[float] = None) -> float:

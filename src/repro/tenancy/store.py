@@ -11,7 +11,11 @@ crash lost the whole backlog and every un-polled result.  A
   or FAILED error record inline;
 * ``entry``   — each streamed sweep-entry record, so the long-poll
   cursor survives too;
-* ``forget``  — retention GC dropping a terminal record.
+* ``forget``  — retention GC dropping a terminal record;
+* ``burst``   — the fair-share burst-score table with a wall-clock
+  snapshot stamp, journaled at every accepted submission, so a
+  flooding tenant cannot reset its penalty by crashing the server
+  (recovery decays the scores by the downtime and re-seeds them).
 
 On restart the manager replays :meth:`JobStore.load` and recovers:
 QUEUED jobs re-enqueue, orphaned RUNNING jobs requeue (exactly once —
@@ -103,6 +107,20 @@ class JobStore:
         """Drop retention-GC'd jobs from the journal's live set."""
         raise NotImplementedError
 
+    def record_burst(self, scores: Mapping[str, float],
+                     at: float) -> None:
+        """Persist a fair-share burst-score snapshot.
+
+        ``at`` is the wall-clock stamp the snapshot was taken at, so
+        recovery can decay the scores by the downtime.  Default: no-op,
+        so stores that predate the burst journal keep working.
+        """
+
+    def load_burst(self) -> Optional[Dict[str, object]]:
+        """The latest burst snapshot ``{"scores": {...}, "at": ...}``,
+        or None when none was ever journaled (the default)."""
+        return None
+
     def close(self) -> None:
         """Stop persisting (further ``record_*`` calls are no-ops)."""
         raise NotImplementedError
@@ -122,6 +140,7 @@ class MemoryJobStore(JobStore):
 
     def __init__(self) -> None:
         self._records: "Dict[str, Dict[str, object]]" = {}
+        self._burst: Optional[Dict[str, object]] = None
         self._lock = threading.Lock()
         self._closed = False
 
@@ -156,6 +175,22 @@ class MemoryJobStore(JobStore):
         with self._lock:
             for job_id in job_ids:
                 self._records.pop(job_id, None)
+
+    def record_burst(self, scores: Mapping[str, float],
+                     at: float) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            self._burst = {"scores": {tenant: float(score)
+                                      for tenant, score in scores.items()},
+                           "at": float(at)}
+
+    def load_burst(self) -> Optional[Dict[str, object]]:
+        with self._lock:
+            if self._burst is None:
+                return None
+            return {"scores": dict(self._burst["scores"]),
+                    "at": self._burst["at"]}
 
     def close(self) -> None:
         self._closed = True
@@ -196,6 +231,7 @@ class JsonlJobStore(JobStore):
         self.compact_threshold = compact_threshold
         self._lock = threading.Lock()
         self._records: "Dict[str, Dict[str, object]]" = {}
+        self._burst: Optional[Dict[str, object]] = None
         self._lines = 0
         self._closed = False
         self.replayed = 0
@@ -240,6 +276,14 @@ class JsonlJobStore(JobStore):
     def _apply(self, event: Mapping[str, object]) -> None:
         """Fold one journal event into the live-record mirror."""
         kind = event.get("type")
+        if kind == "burst":
+            # Last write wins: only the newest snapshot matters, and
+            # compaction re-emits exactly one.  _apply runs during
+            # __init__ replay or under the caller's lock.
+            self._burst = {  # lint: unlocked
+                "scores": dict(event.get("scores") or {}),
+                "at": event.get("at")}
+            return
         if kind in ("submit", "snapshot"):
             record = {key: value for key, value in event.items()
                       if key != "type"}
@@ -343,6 +387,24 @@ class JsonlJobStore(JobStore):
                     self._records.pop(job_id, None)
                     self._append({"type": "forget", "job_id": job_id})
 
+    def record_burst(self, scores: Mapping[str, float],
+                     at: float) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            snapshot = {"scores": {tenant: float(score)
+                                   for tenant, score in scores.items()},
+                        "at": float(at)}
+            self._burst = snapshot
+            self._append(dict(snapshot, type="burst"))
+
+    def load_burst(self) -> Optional[Dict[str, object]]:
+        with self._lock:
+            if self._burst is None:
+                return None
+            return {"scores": dict(self._burst["scores"]),
+                    "at": self._burst["at"]}
+
     # ------------------------------------------------------------------
     # Compaction
     # ------------------------------------------------------------------
@@ -361,12 +423,16 @@ class JsonlJobStore(JobStore):
             for record in self._records.values():
                 stream.write(json.dumps(dict(record, type="snapshot"),
                                         separators=(",", ":")) + "\n")
+            if self._burst is not None:
+                stream.write(json.dumps(dict(self._burst, type="burst"),
+                                        separators=(",", ":")) + "\n")
             stream.flush()
             os.fsync(stream.fileno())
         self._stream.close()
         os.replace(tmp, self.path)
         self._stream = open(self.path, "a", encoding="utf-8")
-        self._lines = 1 + len(self._records)
+        self._lines = (1 + len(self._records)
+                       + (1 if self._burst is not None else 0))
         self.compactions += 1
 
     def compact(self) -> int:

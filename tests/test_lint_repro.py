@@ -134,6 +134,61 @@ def test_telemetry_clock_ignored_outside_its_files(tmp_path):
     assert findings == []
 
 
+def test_manual_span_start_flagged(tmp_path):
+    source = ("from repro.telemetry import Span\n"
+              "span = Span('job')\n"
+              "span.start()\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert _rules(findings) == ["LR006"]
+    assert findings[0].line == 3
+
+
+def test_inline_span_start_flagged(tmp_path):
+    # Span(...).start() discards the only reference — nothing can ever
+    # finish it, pragma or not the diagnostic must fire.
+    source = ("from repro.telemetry import Span\n"
+              "Span('job').start()\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert _rules(findings) == ["LR006"]
+
+
+def test_span_started_in_try_finally_is_clean(tmp_path):
+    source = ("from repro.telemetry import Span\n"
+              "span = Span('job')\n"
+              "try:\n"
+              "    span.start()\n"
+              "    work()\n"
+              "finally:\n"
+              "    span.finish()\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert findings == []
+
+
+def test_span_context_manager_is_clean(tmp_path):
+    source = ("from repro.telemetry import Span\n"
+              "with Span('job') as span:\n"
+              "    work(span)\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert findings == []
+
+
+def test_manual_span_pragma_suppresses(tmp_path):
+    source = ("from repro.telemetry import Span\n"
+              "span = Span('job')\n"
+              "span.start()  # lint: manual-span\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert findings == []
+
+
+def test_unrelated_start_calls_not_flagged(tmp_path):
+    # .start() on non-Span objects (threads, consumers) is out of scope.
+    source = ("import threading\n"
+              "thread = threading.Thread(target=print, daemon=True)\n"
+              "thread.start()\n")
+    findings = _lint_source(tmp_path, source, relative="core/sample.py")
+    assert findings == []
+
+
 def test_lint_off_pragma_disables_all_rules(tmp_path):
     findings = _lint_source(tmp_path,
                             "import time\nnow = time.time()  # lint: off\n")

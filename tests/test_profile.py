@@ -1,0 +1,132 @@
+"""Tests for repro.profile: the deterministic compile-path profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CompileJob, MachineSpec
+from repro.api.job import execute_job
+from repro.exceptions import ExperimentError
+from repro.profile import (
+    PHASE_WORK,
+    JobProfile,
+    ProfileReport,
+    profile_benchmarks,
+    profile_results,
+    result_counters,
+)
+
+GRID = MachineSpec.nisq_grid(5, 5)
+
+
+def _fresh_result(name="RD53", policy="square"):
+    return execute_job(CompileJob.for_benchmark(name, GRID, policy))
+
+
+class TestCounters:
+    def test_counters_are_deterministic_across_runs(self):
+        first = result_counters(_fresh_result())
+        second = result_counters(_fresh_result())
+        assert first == second  # machine-independent by construction
+
+    def test_counter_relationships(self):
+        counters = result_counters(_fresh_result())
+        assert counters["routed_gates"] \
+            == counters["gates"] + counters["swaps"]
+        assert counters["gates"] > 0
+        assert counters["liveness_events"] > 0
+        assert counters["reclaim_ops"] >= 0
+
+    def test_every_profiled_phase_has_a_work_counter(self):
+        profile = JobProfile.from_result(_fresh_result())
+        for phase in profile.phase_seconds:
+            assert phase in PHASE_WORK, phase
+            assert PHASE_WORK[phase] in profile.counters
+
+
+class TestJobProfile:
+    def test_from_result_captures_phases_and_label(self):
+        profile = JobProfile.from_result(_fresh_result())
+        assert profile.label == "RD53/square"
+        assert set(profile.phase_seconds) == set(PHASE_WORK)
+        assert profile.compile_seconds > 0
+
+    def test_rejects_results_without_phase_timings(self):
+        result = _fresh_result()
+        stripped = result.from_dict(result.to_dict())  # drops telemetry
+        with pytest.raises(ExperimentError):
+            JobProfile.from_result(stripped)
+
+    def test_phase_rate_is_work_over_seconds(self):
+        profile = JobProfile(
+            label="x", program_name="x", policy_name="p",
+            machine_name="m", compile_seconds=1.0,
+            phase_seconds={"allocation": 0.5}, counters={"gates": 100})
+        assert profile.phase_rate("allocation") == pytest.approx(200.0)
+
+    def test_phase_rate_floors_on_zero_seconds(self):
+        profile = JobProfile(
+            label="x", program_name="x", policy_name="p",
+            machine_name="m", compile_seconds=1.0,
+            phase_seconds={"allocation": 0.0}, counters={"gates": 100})
+        assert profile.phase_rate("allocation") == 100.0
+
+    def test_to_dict_shape(self):
+        data = JobProfile.from_result(_fresh_result()).to_dict()
+        assert set(data) == {"label", "program_name", "policy_name",
+                             "machine_name", "compile_seconds",
+                             "phase_seconds", "phase_rates", "counters"}
+        assert set(data["phase_rates"]) == set(data["phase_seconds"])
+
+
+class TestProfileReport:
+    def _report(self):
+        return profile_benchmarks(["RD53", "ADDER4"], GRID,
+                                  policies=("eager", "square"),
+                                  scale="quick")
+
+    def test_profiles_every_pair(self):
+        report = self._report()
+        assert len(report) == 4
+        assert [profile.label for profile in report] == [
+            "RD53/eager", "RD53/square", "ADDER4/eager", "ADDER4/square"]
+
+    def test_phase_totals_sum_per_phase(self):
+        report = self._report()
+        totals = report.phase_totals()
+        assert set(totals) == set(PHASE_WORK)
+        for phase, total in totals.items():
+            assert total == pytest.approx(sum(
+                profile.phase_seconds[phase] for profile in report))
+
+    def test_hotspots_rank_by_seconds(self):
+        rows = self._report().hotspots()
+        seconds = [row["seconds"] for row in rows]
+        assert seconds == sorted(seconds, reverse=True)
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+
+    def test_hotspots_top_n(self):
+        assert len(self._report().hotspots(top=3)) == 3
+
+    def test_table_is_deterministic_given_fixed_profiles(self):
+        report = self._report()
+        assert report.table() == report.table()
+        first_data_row = report.table().splitlines()[3]
+        top = report.hotspots(top=1)[0]
+        assert top["label"] in first_data_row
+        assert top["phase"] in first_data_row
+
+    def test_table_handles_empty_report(self):
+        text = ProfileReport([]).table("empty")
+        assert "0 job(s)" in text
+
+    def test_to_dict_round_trips_to_json(self):
+        import json
+
+        data = self._report().to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert len(data["jobs"]) == 4
+
+    def test_profile_results_wraps_existing_results(self):
+        report = profile_results([_fresh_result()], labels=["custom"])
+        assert report.profiles[0].label == "custom"

@@ -357,6 +357,92 @@ class TestJsonlJobStore:
 
 
 # ----------------------------------------------------------------------
+# Burst-score durability: the penalty survives a crash
+# ----------------------------------------------------------------------
+class TestBurstPersistence:
+    def test_store_round_trips_latest_snapshot(self, tmp_path):
+        store = JsonlJobStore(tmp_path)
+        store.record_burst({"alice": 5.0}, 123.0)
+        store.record_burst({"alice": 7.5, "bob": 1.0}, 456.0)
+        store.close()
+        assert JsonlJobStore(tmp_path).load_burst() == {
+            "scores": {"alice": 7.5, "bob": 1.0}, "at": 456.0}
+
+    def test_store_defaults_to_no_snapshot(self, tmp_path):
+        assert JsonlJobStore(tmp_path).load_burst() is None
+        assert MemoryJobStore().load_burst() is None
+
+    def test_memory_store_round_trips(self):
+        store = MemoryJobStore()
+        store.record_burst({"alice": 2.0}, 1.0)
+        assert store.load_burst() == {"scores": {"alice": 2.0}, "at": 1.0}
+
+    def test_compaction_re_emits_one_snapshot(self, tmp_path):
+        store = JsonlJobStore(tmp_path)
+        store.record_submit(finished_job())
+        for stamp in range(20):
+            store.record_burst({"alice": float(stamp)}, float(stamp))
+        store.compact()
+        # header + one job + exactly one burst line survive.
+        assert store.stats()["wal_lines"] == 3
+        store.close()
+        reopened = JsonlJobStore(tmp_path)
+        assert reopened.load_burst() == {"scores": {"alice": 19.0},
+                                         "at": 19.0}
+
+    def test_restore_decays_by_downtime(self):
+        clock = FakeClock(100.0)
+        burst = BurstScoreManager(half_life=30.0, clock=clock)
+        restored = burst.restore({"alice": 8.0}, 30.0)
+        assert restored == {"alice": pytest.approx(4.0)}
+        assert burst.score("alice") == pytest.approx(4.0)
+
+    def test_restore_drops_fully_decayed_tenants(self):
+        burst = BurstScoreManager(half_life=1.0, clock=FakeClock())
+        assert burst.restore({"alice": 1.0}, 1000.0) == {}
+        assert burst.score("alice") == 0.0
+
+    def test_submit_journals_the_burst_table(self, tmp_path):
+        gate = threading.Event()
+        gate.set()
+        store = JsonlJobStore(tmp_path)
+        manager = gated_manager(store, gate,
+                                scheduler=FairShareScheduler())
+        try:
+            manager.submit("compile", {"n": 1}, tenant=ALICE)
+            snapshot = store.load_burst()
+            assert snapshot is not None
+            assert snapshot["scores"]["alice"] > 0
+            assert snapshot["at"] > 0
+        finally:
+            manager.close()
+
+    def test_flood_penalty_survives_crash(self, tmp_path):
+        gate = threading.Event()
+        manager = gated_manager(JsonlJobStore(tmp_path), gate,
+                                scheduler=FairShareScheduler())
+        for n in range(8):
+            manager.submit("compile", {"n": n}, tenant=ALICE)
+        flood_score = manager.scheduler.burst.score("alice")
+        assert flood_score > 0
+        manager.crash()
+        gate.set()
+
+        revived_scheduler = FairShareScheduler()
+        open_gate = threading.Event()
+        open_gate.set()
+        revived = gated_manager(JsonlJobStore(tmp_path), open_gate,
+                                scheduler=revived_scheduler)
+        try:
+            restored = revived_scheduler.burst.score("alice")
+            # The penalty came back from the journal, decayed only by
+            # the (tiny) downtime — a crash is not a reset button.
+            assert 0 < restored <= flood_score
+        finally:
+            revived.close()
+
+
+# ----------------------------------------------------------------------
 # Manager recovery: crash, restart, resume
 # ----------------------------------------------------------------------
 def gated_manager(store, gate, **kwargs):

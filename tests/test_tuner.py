@@ -532,6 +532,34 @@ class TestRemoteBackends:
             for server in servers:
                 stop(server)
 
+    def test_tuning_trials_share_one_trace_id(self, tmp_path):
+        # Every trial a run pushes through a remote backend must land
+        # under the backend's single trace id, so one `trace` command
+        # shows the whole tuning run as a waterfall.
+        servers, urls = start_servers(2, tmp_path)
+        try:
+            client = ServiceClient(urls[0])
+            small_run(backend=client).run()
+            payload = client.trace(client.trace_id)
+            assert payload["trace_id"] == client.trace_id
+            spans = payload["spans"]
+            assert {span["trace_id"] for span in spans} == {client.trace_id}
+            names = {span["name"] for span in spans}
+            assert {"server.handle", "job.run", "compile"} <= names
+
+            coordinator = ClusterCoordinator(urls)
+            small_run(backend=coordinator).run()
+            merged = coordinator.collect_trace()
+            assert merged["trace_id"] == coordinator.trace_id
+            assert merged["count"] > 0
+            assert {span["trace_id"] for span in merged["spans"]} == \
+                {coordinator.trace_id}
+            # Both shards executed trials under the one id.
+            assert {span["worker"] for span in merged["spans"]} == set(urls)
+        finally:
+            for server in servers:
+                stop(server)
+
 
 class TestTuneCLI:
     def test_tune_command_exports_best_and_leaderboard(self, tmp_path):

@@ -26,6 +26,13 @@ generic linters don't know about:
   ``time.perf_counter()``; a wall clock that steps under NTP produces
   negative or wildly wrong durations.  Genuine timestamps are annotated
   ``# lint: wall-clock`` like LR001.
+* **LR006 manual-span** — a ``Span`` started via ``.start()`` with no
+  ``finally`` that finishes it (and ``Span(...).start()`` inline, which
+  nothing can ever finish).  An unfinished span never reaches its
+  recorder, so the leak is invisible until a waterfall comes up empty;
+  open spans with ``with recorder.span(...)`` instead, or close the
+  manual start in a ``try/finally``.  Deliberate manual lifecycles
+  carry ``# lint: manual-span``.
 
 Suppression: a ``# lint: <tag>[, <tag>...]`` comment on the offending
 line disables the matching rule there (``# lint: off`` disables all).
@@ -62,6 +69,9 @@ RULES: Dict[str, Tuple[str, str]] = {
     "LR005": ("wall-clock",
               "time.time() in telemetry/phase-timing code; timing "
               "instruments must use time.monotonic()/perf_counter()"),
+    "LR006": ("manual-span",
+              "Span started manually without a finally/with closing "
+              "it; unfinished spans never reach their recorder"),
 }
 
 #: Directory names whose files get the LR001 wall-clock rule.
@@ -195,6 +205,91 @@ def _check_thread_daemon(tree: ast.AST) -> Iterable[Tuple[int, str]]:
 
 
 # ----------------------------------------------------------------------
+# LR006: span lifecycle discipline
+# ----------------------------------------------------------------------
+def _is_span_ctor(node: ast.AST) -> bool:
+    """True for ``Span(...)`` / ``spans.Span(...)`` constructor calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Span"
+    return isinstance(func, ast.Name) and func.id == "Span"
+
+
+def _target_name(node: ast.AST) -> Optional[str]:
+    """Dotted name of a simple target (``span``, ``self.span``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _check_manual_span(tree: ast.AST) -> Iterable[Tuple[int, str]]:
+    """Flag ``Span`` objects started manually with nothing closing them.
+
+    A span that is never finished never reaches its recorder — the job
+    silently vanishes from every waterfall.  The safe forms are a
+    ``with recorder.span(...)`` / ``with Span(...)`` block, or a manual
+    ``.start()`` inside a ``try`` whose ``finally`` calls ``.finish()``
+    (or ``.close()``) on the same name.
+    """
+    span_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_span_ctor(node.value):
+            for target in node.targets:
+                name = _target_name(target)
+                if name is not None:
+                    span_names.add(name)
+
+    # Line ranges of try-bodies whose finally finishes a given name.
+    protected: List[Tuple[int, int, Set[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        finished: Set[str] = set()
+        for statement in node.finalbody:
+            for call in ast.walk(statement):
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in ("finish", "close")):
+                    name = _target_name(call.func.value)
+                    if name is not None:
+                        finished.add(name)
+        if finished:
+            low = node.lineno
+            high = max(statement.end_lineno or statement.lineno
+                       for statement in node.body)
+            protected.append((low, high, finished))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "start"):
+            continue
+        if _is_span_ctor(func.value):
+            yield (node.lineno,
+                   "Span(...).start() discards the only reference; the "
+                   "span can never be finished — use `with "
+                   "recorder.span(...)` instead")
+            continue
+        name = _target_name(func.value)
+        if name is None or name not in span_names:
+            continue
+        if any(low <= node.lineno <= high and name in names
+               for low, high, names in protected):
+            continue
+        yield (node.lineno,
+               f"{name}.start() has no finally/with closing it; an "
+               f"unfinished span never reaches its recorder — use "
+               f"`with recorder.span(...)`, close it in try/finally, or "
+               f"annotate `# lint: manual-span`")
+
+
+# ----------------------------------------------------------------------
 # LR004: lock-guarded attribute discipline, per class
 # ----------------------------------------------------------------------
 class _Mutation(NamedTuple):
@@ -313,7 +408,8 @@ def lint_file(path: Path, root: Path) -> List[Finding]:
     relative = path.relative_to(root) if path.is_relative_to(root) else path
     checks = [("LR002", _check_bare_except),
               ("LR003", _check_thread_daemon),
-              ("LR004", _check_lock_guard)]
+              ("LR004", _check_lock_guard),
+              ("LR006", _check_manual_span)]
     if any(layer in relative.parts for layer in MONOTONIC_LAYERS):
         checks.insert(0, ("LR001", _check_wall_clock))
     if (TELEMETRY_LAYER in relative.parts

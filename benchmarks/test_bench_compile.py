@@ -17,8 +17,7 @@ telemetry that deliberately does not survive serialization.
 
 from __future__ import annotations
 
-import json
-import time
+import os
 from pathlib import Path
 
 import pytest
@@ -42,17 +41,19 @@ RESULTS: dict = {}
 
 @pytest.fixture(scope="module", autouse=True)
 def emit_bench_json():
-    """Write the collected profile after the module runs."""
+    """Flush a versioned benchmark record after the module runs.
+
+    ``REPRO_BENCH_HISTORY=<dir>`` also appends the record to the
+    ``<dir>/compile.jsonl`` trajectory journal that ``bench compare`` /
+    ``bench trend`` read.
+    """
     yield
     if not RESULTS:
         return
-    payload = {
-        "suite": "compile",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "metrics": RESULTS,
-    }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
-                          + "\n", encoding="utf-8")
+    from repro.bench import write_bench
+
+    write_bench(str(BENCH_PATH), "compile", RESULTS,
+                history_dir=os.environ.get("REPRO_BENCH_HISTORY") or None)
 
 
 def _ladder() -> ProfileReport:

@@ -19,7 +19,7 @@ rule coverage (RV001-RV006) and every report must come back clean.
 
 from __future__ import annotations
 
-import json
+import os
 import time
 from pathlib import Path
 
@@ -47,17 +47,19 @@ RESULTS: dict = {}
 
 @pytest.fixture(scope="module", autouse=True)
 def emit_bench_json():
-    """Write the collected headline numbers after the module runs."""
+    """Flush a versioned benchmark record after the module runs.
+
+    ``REPRO_BENCH_HISTORY=<dir>`` also appends the record to the
+    ``<dir>/verify.jsonl`` trajectory journal that ``bench compare`` /
+    ``bench trend`` read.
+    """
     yield
     if not RESULTS:
         return
-    payload = {
-        "suite": "verify",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "metrics": RESULTS,
-    }
-    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True)
-                          + "\n", encoding="utf-8")
+    from repro.bench import write_bench
+
+    write_bench(str(BENCH_PATH), "verify", RESULTS,
+                history_dir=os.environ.get("REPRO_BENCH_HISTORY") or None)
 
 
 def _compile_suite():

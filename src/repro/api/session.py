@@ -98,12 +98,18 @@ class Session:
             its total into ``repro_compile_seconds`` — the profiling
             substrate the hot-path work reads from ``/metrics``.  The
             service attaches its registry here automatically.
+        events: Optional :class:`~repro.telemetry.events.EventLog`.
+            When attached, cache-tier outcomes and verifier findings
+            are narrated as structured events (correlated to the
+            worker's ``job.run`` span when one is active).  The service
+            attaches its event log here automatically.
     """
 
     def __init__(self, executor=None, jobs: int = 1, *,
                  disk_cache=None, cache_dir: Optional[str] = None,
                  isolate_failures: bool = False,
-                 verify: bool = False, metrics=None) -> None:
+                 verify: bool = False, metrics=None,
+                 events=None) -> None:
         if executor is None:
             executor = SerialExecutor() if jobs <= 1 else ParallelExecutor(jobs)
         if disk_cache is not None and cache_dir is not None:
@@ -120,6 +126,7 @@ class Session:
         self.isolate_failures = isolate_failures
         self.verify = verify
         self.metrics = metrics
+        self.events = events
         self._cache: Dict[str, CompilationResult] = {}
         self._verify_cache: Dict[str, object] = {}
         self._lock = threading.Lock()
@@ -181,6 +188,11 @@ class Session:
             if memo_span is not None:
                 memo_span.labels["hits"] = str(len(resolved))
                 memo_span.labels["misses"] = str(len(mine) + len(theirs))
+            if self.events is not None:
+                self.events.debug(
+                    "cache.memory consulted", component="cache",
+                    fields={"tier": "memory", "hits": len(resolved),
+                            "misses": len(mine) + len(theirs)})
 
         failures: Dict[str, JobFailure] = {}
         disk_restored = set()
@@ -201,6 +213,11 @@ class Session:
                     if disk_span is not None:
                         disk_span.labels["lookups"] = str(lookups)
                         disk_span.labels["hits"] = str(len(disk_restored))
+                    if self.events is not None:
+                        self.events.debug(
+                            "cache.disk consulted", component="cache",
+                            fields={"tier": "disk", "lookups": lookups,
+                                    "hits": len(disk_restored)})
             if mine:
                 with child_span("session.compile",
                                 labels={"jobs": str(len(mine))}
@@ -347,6 +364,13 @@ class Session:
                     self._verify_cache[fingerprint] = report
                     self.verified_results += 1
                     self.verify_findings += len(report.findings)
+                if self.events is not None and report.findings:
+                    self.events.warning(
+                        "verifier findings", component="verify",
+                        fields={"benchmark": entry.job.program_label,
+                                "findings": len(report.findings),
+                                "rules": sorted({finding.rule for finding
+                                                 in report.findings})})
             verified.append(replace_entry(entry, verification=report))
         return verified
 

@@ -1,0 +1,214 @@
+"""Per-metric regression comparison between two benchmark records.
+
+:func:`compare` takes a baseline and a current record (any schema
+version — both are up-converted) and classifies every numeric metric:
+
+* **Direction** comes from the metric's name, the same convention the
+  suites already follow: ``*_ns`` / ``*_us`` / ``*_ms`` / ``*seconds*``
+  / ``*latency*`` are timings (lower is better), ``*per_second*`` /
+  ``*_rate`` are throughputs (higher is better), ``*_ratio`` are
+  overhead ratios (lower is better), ``*bytes*`` are sizes (lower is
+  better).  Anything else — job counts, gate totals — is
+  informational: tracked in the table, never a regression.
+* **Tolerance** is a noise band per kind.  Timings and sizes ride a
+  wide *relative* band (a 2x slowdown always fails; run-to-run jitter
+  on a shared CI runner does not), throughputs a slightly tighter one,
+  and near-zero overhead ratios an *absolute* band (a ratio moving
+  from 0.003 to 0.015 is noise around zero, not a 5x regression).
+
+Nested metric dicts (e.g. ``phase_seconds`` per compile phase) flatten
+to dotted names; lists and strings are skipped.  The output is fully
+deterministic — rows sort by metric name — so two compares of the same
+records are byte-identical, and :func:`render_compare` /
+:func:`render_trend` give the CLI its tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.records import upconvert
+
+#: (kind, direction, tolerance) policies, widest match wins below.
+RELATIVE_TOLERANCE_TIMING = 0.5
+RELATIVE_TOLERANCE_RATE = 0.45
+ABSOLUTE_TOLERANCE_RATIO = 0.02
+
+
+def flatten_metrics(metrics: Dict[str, object],
+                    prefix: str = "") -> Dict[str, float]:
+    """Numeric metrics under dotted names; lists/strings are skipped."""
+    flat: Dict[str, float] = {}
+    for key in sorted(metrics):
+        name = f"{prefix}{key}"
+        value = metrics[key]
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[name] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten_metrics(value, prefix=f"{name}."))
+    return flat
+
+
+def metric_policy(name: str) -> Tuple[Optional[str], Optional[str], float]:
+    """(direction, band kind, tolerance) for one dotted metric name.
+
+    ``direction`` is ``"lower"`` / ``"higher"`` (better), or None for
+    informational metrics; ``band kind`` is ``"relative"`` /
+    ``"absolute"``.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf.endswith("_ratio"):
+        return "lower", "absolute", ABSOLUTE_TOLERANCE_RATIO
+    if "per_second" in name or leaf.endswith("_rate"):
+        return "higher", "relative", RELATIVE_TOLERANCE_RATE
+    if ("seconds" in name or "latency" in name
+            or leaf.endswith(("_ns", "_us", "_ms"))):
+        return "lower", "relative", RELATIVE_TOLERANCE_TIMING
+    if "bytes" in name:
+        return "lower", "relative", RELATIVE_TOLERANCE_TIMING
+    return None, None, 0.0
+
+
+def _classify(name: str, baseline: Optional[float],
+              current: Optional[float]) -> Dict[str, object]:
+    """One comparison row; ``status`` drives the gate."""
+    direction, band, tolerance = metric_policy(name)
+    row: Dict[str, object] = {
+        "metric": name,
+        "baseline": baseline,
+        "current": current,
+        "direction": direction or "info",
+        "status": "ok",
+    }
+    if baseline is None:
+        row["status"] = "new"
+        return row
+    if current is None:
+        row["status"] = "missing"
+        return row
+    delta = current - baseline
+    row["delta_pct"] = (round(100.0 * delta / baseline, 1)
+                        if baseline else None)
+    if direction is None:
+        row["status"] = "info"
+        return row
+    worse = delta if direction == "lower" else -delta
+    if band == "absolute":
+        over = worse > tolerance
+        better = worse < -tolerance
+    elif baseline:
+        over = worse > tolerance * abs(baseline)
+        better = worse < -tolerance * abs(baseline)
+    else:
+        # A zero baseline has no relative band; fall back to the
+        # absolute ratio band so 0 -> 0.2s still trips the gate.
+        over = worse > ABSOLUTE_TOLERANCE_RATIO
+        better = False
+    if over:
+        row["status"] = "regression"
+    elif better:
+        row["status"] = "improved"
+    return row
+
+
+def compare(baseline: Dict[str, object],
+            current: Dict[str, object]) -> Dict[str, object]:
+    """Classify every metric of ``current`` against ``baseline``.
+
+    Returns a JSON-compatible report: sorted per-metric ``rows``, the
+    ``regressions`` / ``improvements`` name lists, and ``ok`` (no
+    regression).  Comparing a record against itself is always ``ok``.
+    """
+    base = upconvert(baseline)
+    cur = upconvert(current)
+    base_flat = flatten_metrics(base["metrics"])
+    cur_flat = flatten_metrics(cur["metrics"])
+    rows = [_classify(name, base_flat.get(name), cur_flat.get(name))
+            for name in sorted(set(base_flat) | set(cur_flat))]
+    regressions = [str(row["metric"]) for row in rows
+                   if row["status"] == "regression"]
+    improvements = [str(row["metric"]) for row in rows
+                    if row["status"] == "improved"]
+    return {
+        "suite": cur["suite"],
+        "baseline_generated_at": base["generated_at"],
+        "current_generated_at": cur["generated_at"],
+        "rows": rows,
+        "regressions": regressions,
+        "improvements": improvements,
+        "ok": not regressions,
+    }
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return str(value)
+
+
+def render_compare(report: Dict[str, object]) -> str:
+    """The ``bench compare`` table: deterministic, regression-first."""
+    from repro.analysis.report import format_comparison
+
+    rows = []
+    for row in report["rows"]:
+        delta = row.get("delta_pct")
+        rows.append({
+            "metric": row["metric"],
+            "baseline": _format_value(row["baseline"]),
+            "current": _format_value(row["current"]),
+            "delta": "-" if delta is None else f"{delta:+.1f}%",
+            "direction": row["direction"],
+            "status": row["status"].upper()
+            if row["status"] == "regression" else row["status"],
+        })
+    title = (f"bench compare: suite {report['suite']} — "
+             f"{report['baseline_generated_at'] or '?'} -> "
+             f"{report['current_generated_at'] or '?'}")
+    text = format_comparison(title, rows, columns=[
+        "metric", "baseline", "current", "delta", "direction", "status"])
+    for name in report["regressions"]:
+        row = next(r for r in report["rows"] if r["metric"] == name)
+        delta = row.get("delta_pct")
+        suffix = "" if delta is None else f" ({delta:+.1f}%)"
+        text += f"[REGRESSION] {name}: {_format_value(row['baseline'])} " \
+                f"-> {_format_value(row['current'])}{suffix}\n"
+    if report["ok"]:
+        text += f"[ok: no regressions in {len(report['rows'])} metric(s)]\n"
+    return text
+
+
+def render_trend(suite: str, records: Sequence[Dict[str, object]], *,
+                 metrics: Optional[Sequence[str]] = None) -> str:
+    """The ``bench trend`` table: one row per history record.
+
+    Shows the requested dotted metric names (default: every directional
+    metric of the newest record, capped at six for table width).
+    """
+    from repro.analysis.report import format_comparison
+
+    normalised = [upconvert(record) for record in records]
+    if not normalised:
+        return f"bench trend: suite {suite} — no history\n"
+    if metrics is None:
+        latest = flatten_metrics(normalised[-1]["metrics"])
+        metrics = [name for name in sorted(latest)
+                   if metric_policy(name)[0] is not None][:6]
+    rows: List[Dict[str, object]] = []
+    for index, record in enumerate(normalised):
+        flat = flatten_metrics(record["metrics"])
+        row: Dict[str, object] = {
+            "run": index,
+            "generated_at": record["generated_at"] or "?",
+        }
+        for name in metrics:
+            row[name] = _format_value(flat.get(name))
+        rows.append(row)
+    title = f"bench trend: suite {suite} — {len(rows)} run(s)"
+    return format_comparison(title, rows,
+                             columns=["run", "generated_at", *metrics])

@@ -63,6 +63,7 @@ from repro.cluster.streaming import (
 )
 from repro.cluster.topology import ClusterTopology, WorkerEndpoint
 from repro.core.result import CompilationResult, JobFailure
+from repro.telemetry import EventLog
 
 #: ``on_entry`` callback: (first original index, entry) per unique job.
 EntryCallback = Callable[[int, SweepEntry], None]
@@ -114,6 +115,11 @@ class ClusterCoordinator:
         self.redispatched_jobs = 0
         self.shed_jobs = 0
         self.failed_shard_retries = 0
+        #: Coordinator-local event log: dispatch rounds, sheds, worker
+        #: deaths, and failed-shard retries, correlated to the sweep's
+        #: fleet-wide trace id.  Worker-side events are collected
+        #: separately via :meth:`collect_logs`.
+        self.events = EventLog()
 
     # ------------------------------------------------------------------
     def run(self, work: Union[SweepSpec, Sequence[CompileJob]], *,
@@ -208,6 +214,11 @@ class ClusterCoordinator:
                   if endpoint.url not in exclude] or alive
         shards = shard_jobs(pending, {endpoint.url: endpoint.weight
                                       for endpoint in usable})
+        self.events.info(
+            "dispatch round", component="cluster",
+            trace_id=self.trace_id,
+            fields={"round": self.rounds_run, "pending": len(pending),
+                    "workers": len(usable)})
 
         consumers: List[ShardConsumer] = []
         saturated: set = set()
@@ -223,6 +234,10 @@ class ClusterCoordinator:
             except BackPressureError:
                 saturated.add(endpoint.url)
                 self.shed_jobs += len(shard)
+                self.events.warning(
+                    "shard shed: worker back-pressure", component="cluster",
+                    trace_id=self.trace_id,
+                    fields={"worker": endpoint.url, "jobs": len(shard)})
                 continue  # shard re-dispatches to siblings next round
             except (UnknownJobError, ServiceError) as error:
                 status = getattr(error, "http_status", None)
@@ -240,6 +255,11 @@ class ClusterCoordinator:
                     continue
                 self.topology.mark_dead(
                     endpoint, f"shard submission failed: {error}")
+                self.events.warning(
+                    "worker marked dead: shard submission failed",
+                    component="cluster", trace_id=self.trace_id,
+                    fields={"worker": endpoint.url, "jobs": len(shard),
+                            "error": str(error)})
                 died_at_submit = True
                 continue
             consumers.append(ShardConsumer(
@@ -262,6 +282,12 @@ class ClusterCoordinator:
                 self.topology.mark_dead(
                     consumer.endpoint,
                     f"entry stream died: {consumer.error}")
+                self.events.warning(
+                    "worker marked dead: entry stream died",
+                    component="cluster", trace_id=self.trace_id,
+                    fields={"worker": consumer.endpoint.url,
+                            "unfinished": len(consumer.unfinished()),
+                            "error": str(consumer.error)})
             elif consumer.outcome == UNFINISHED:
                 # The worker is reachable but its shard job ended
                 # FAILED/CANCELLED server-side.  Retry the remainder on
@@ -270,6 +296,11 @@ class ClusterCoordinator:
                 # them straight back to the same sick queue.
                 failed_shard.add(consumer.endpoint.url)
                 self.failed_shard_retries += len(consumer.unfinished())
+                self.events.warning(
+                    "shard failed server-side; retrying on alternates",
+                    component="cluster", trace_id=self.trace_id,
+                    fields={"worker": consumer.endpoint.url,
+                            "unfinished": len(consumer.unfinished())})
             elif consumer.outcome == CRASHED:
                 # Not the worker's fault (typically the caller's
                 # on_entry raising); re-raise the original exception
@@ -368,6 +399,26 @@ class ClusterCoordinator:
         """
         return self.topology.fleet_trace(trace_id)
 
+    def collect_logs(self, trace_id: Optional[str] = None, *,
+                     tenant: Optional[str] = None,
+                     level: Optional[str] = None,
+                     since: Optional[float] = None,
+                     limit: Optional[int] = None) -> Dict[str, object]:
+        """Collect and merge the fleet's log events for one trace.
+
+        Defaults to the coordinator's own :attr:`trace_id` — i.e. "the
+        event narrative of the sweeps this coordinator ran".  See
+        :meth:`~repro.cluster.topology.ClusterTopology.fleet_logs` for
+        the merge semantics (``worker=`` tags, ``(worker, event_id)``
+        dedup, deterministic ``(ts, event_id)`` order, unreachable
+        workers reported rather than dropped).  Coordinator-local
+        events (dispatch/shed/heal) live in :attr:`events` and are not
+        part of the fleet merge.
+        """
+        return self.topology.fleet_logs(trace_id, tenant=tenant,
+                                        level=level, since=since,
+                                        limit=limit)
+
     def stats(self) -> Dict[str, object]:
         """JSON-compatible coordinator + fleet telemetry."""
         return {
@@ -377,6 +428,7 @@ class ClusterCoordinator:
             "shed_jobs": self.shed_jobs,
             "failed_shard_retries": self.failed_shard_retries,
             "max_rounds": self.max_rounds,
+            "events": self.events.stats(),
         }
 
     def __repr__(self) -> str:

@@ -330,6 +330,54 @@ class ClusterTopology:
         return {"trace_id": trace_id, "count": len(ordered),
                 "spans": ordered, "workers": workers}
 
+    def fleet_logs(self, trace: Optional[str] = None, *,
+                   tenant: Optional[str] = None,
+                   level: Optional[str] = None,
+                   since: Optional[float] = None,
+                   limit: Optional[int] = None) -> Dict[str, object]:
+        """One ``GET /logs`` fetch per endpoint, merged.
+
+        Every worker's filtered events merge into one list: each record
+        gains a ``worker`` key naming the shard that emitted it,
+        duplicates (same event id from the same worker) collapse on
+        ``(worker, event_id)``, and the merged list sorts
+        deterministically by (ts, event_id) — one fleet-wide narrative
+        per trace.  Workers that cannot answer (unreachable, or a
+        pre-logs server) appear in the ``workers`` map with
+        ``reachable: False``.  ``trace`` defaults to the fleet's own
+        trace id; pass ``trace=""`` for events across all traces.
+        """
+        if trace is None:
+            trace = self.trace_id
+        merged: Dict[tuple, Dict[str, object]] = {}
+        workers: Dict[str, Dict[str, object]] = {}
+        for endpoint in self:
+            fetch = getattr(endpoint.client, "logs", None)
+            try:
+                if fetch is None:
+                    raise ServiceError(
+                        f"client for {endpoint.url} has no logs()")
+                payload = fetch(trace, tenant=tenant, level=level,
+                                since=since, limit=limit)
+            except ServiceError as error:
+                workers[endpoint.url] = {"reachable": False,
+                                         "error": str(error)}
+                continue
+            events = payload.get("events") or []
+            workers[endpoint.url] = {"reachable": True,
+                                     "events": len(events)}
+            for record in events:
+                record = dict(record)
+                # Top-level key, like fleet_trace: render_waterfall
+                # shows it as an `@worker` suffix on event lines.
+                record.setdefault("worker", endpoint.url)
+                merged[(endpoint.url, record.get("event_id"))] = record
+        ordered = sorted(merged.values(),
+                         key=lambda record: (record.get("ts") or 0.0,
+                                             record.get("event_id") or ""))
+        return {"trace_id": trace or None, "count": len(ordered),
+                "events": ordered, "workers": workers}
+
     def __repr__(self) -> str:
         return (f"ClusterTopology(registered={len(self)}, "
                 f"alive={len(self.alive())})")

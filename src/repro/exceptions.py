@@ -151,6 +151,18 @@ class TunerError(ReproError):
     """
 
 
+class BenchError(ReproError):
+    """Raised when a benchmark record or history journal is unusable.
+
+    Covers malformed ``BENCH_*.json`` payloads (no recognisable suite
+    or metrics mapping), records claiming a schema version newer than
+    this library understands, and compare requests whose baseline
+    cannot be located.  Noisy-but-parseable history lines are *not*
+    errors: the journal reader skips torn tails and reports how many
+    lines it dropped, mirroring the telemetry event-log reader.
+    """
+
+
 class UnknownJobError(ServiceError):
     """Raised when a job id does not name a live queued-job record.
 

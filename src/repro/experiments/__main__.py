@@ -32,6 +32,9 @@ Examples::
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
     python -m repro.experiments trace 4f2a... \\
         --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
+    python -m repro.experiments logs --trace 4f2a... \\
+        --endpoint http://127.0.0.1:8731 --endpoint http://127.0.0.1:8732
+    python -m repro.experiments bench compare --suite telemetry
     python -m repro.experiments profile RD53 ADDER4 \\
         --policies eager square --grid 5 5 --scale quick
 """
@@ -304,33 +307,158 @@ def _run_metrics(args: argparse.Namespace) -> str:
                            api_key=args.api_key).fleet_metrics()
 
 
-def _run_trace(args: argparse.Namespace) -> str:
-    """Fetch one trace's spans and render the ASCII waterfall.
+def _run_trace(args: argparse.Namespace) -> tuple[str, int]:
+    """Fetch one trace's spans + events and render the ASCII waterfall.
 
     One ``--endpoint`` renders that worker's view of the trace; several
     render :meth:`~repro.cluster.ClusterTopology.fleet_trace` — the
     merged fleet view, each span labelled with the worker that recorded
     it — which is the full waterfall of a ``cluster-sweep`` (its trace
-    id is printed when the sweep starts).
+    id is printed when the sweep starts).  Log events carrying the same
+    trace id interleave into the waterfall as ``*`` markers.  A trace
+    id no endpoint knows (no spans *and* no events) exits non-zero.
     """
+    from repro.exceptions import ServiceError
     from repro.telemetry import render_waterfall
 
     trace_id = args.names[0]
     if len(args.endpoint) == 1:
         from repro.service.client import ServiceClient
 
-        payload = ServiceClient(args.endpoint[0],
-                                api_key=args.api_key).trace(trace_id)
+        client = ServiceClient(args.endpoint[0], api_key=args.api_key)
+        spans = client.trace(trace_id).get("spans") or []
+        try:
+            events = client.logs(trace_id).get("events") or []
+        except ServiceError:
+            events = []  # a pre-/logs server still renders its spans
     else:
         from repro.cluster import ClusterTopology
 
-        payload = ClusterTopology(args.endpoint,
-                                  api_key=args.api_key).fleet_trace(trace_id)
+        topology = ClusterTopology(args.endpoint, api_key=args.api_key)
+        payload = topology.fleet_trace(trace_id)
+        spans = payload.get("spans") or []
         for url, worker in sorted(payload.get("workers", {}).items()):
             if not worker.get("reachable"):
                 print(f"[{url} unreachable: {worker.get('error')}]",
                       flush=True)
-    return render_waterfall(payload.get("spans") or [])
+        events = topology.fleet_logs(trace_id).get("events") or []
+    if not spans and not events:
+        print(f"[trace {trace_id}: no spans or events recorded on any "
+              f"endpoint]", file=sys.stderr)
+        return "", 1
+    return render_waterfall(spans, events=events), 0
+
+
+def _run_logs(args: argparse.Namespace) -> tuple[str, int]:
+    """Fetch structured log events from one server or a merged fleet.
+
+    One ``--endpoint`` queries that worker's ``GET /logs``; several
+    merge :meth:`~repro.cluster.ClusterTopology.fleet_logs` — each
+    event tagged with the worker it came from, deduplicated on
+    ``(worker, event_id)``, in deterministic ``(ts, event_id)`` order.
+    With ``--trace`` the query is scoped to one trace id and exits
+    non-zero when no endpoint has events for it.
+    """
+    from repro.telemetry import LogEvent, format_event
+
+    # --trace omitted means "across all traces" (the server treats an
+    # empty trace filter as a wildcard, unlike the client's default of
+    # its own minted id).
+    trace = args.trace if args.trace is not None else ""
+    filters = {"tenant": args.tenant, "level": args.level,
+               "since": args.since, "limit": args.limit}
+    if len(args.endpoint) == 1:
+        from repro.service.client import ServiceClient
+
+        payload = ServiceClient(args.endpoint[0],
+                                api_key=args.api_key).logs(trace, **filters)
+    else:
+        from repro.cluster import ClusterTopology
+
+        payload = ClusterTopology(args.endpoint,
+                                  api_key=args.api_key).fleet_logs(
+                                      trace, **filters)
+        for url, worker in sorted(payload.get("workers", {}).items()):
+            if not worker.get("reachable"):
+                print(f"[{url} unreachable: {worker.get('error')}]",
+                      flush=True)
+    events = payload.get("events") or []
+    lines = []
+    for record in events:
+        line = format_event(LogEvent.from_dict(record))
+        worker = record.get("worker")
+        if worker:
+            line += f" worker={worker}"
+        lines.append(line)
+    if not events:
+        scope = f"trace {args.trace}" if args.trace else "the given filters"
+        print(f"[no log events recorded for {scope} on any endpoint]",
+              file=sys.stderr)
+        return "", 1 if args.trace else 0
+    return "\n".join(lines) + f"\n[{len(events)} event(s)]\n", 0
+
+
+def _run_bench(args: argparse.Namespace) -> tuple[str, int]:
+    """The benchmark-trajectory commands: list, compare, trend.
+
+    ``list`` surveys the history journal; ``compare`` gates the current
+    ``BENCH_<suite>.json`` against a baseline (default: the newest
+    committed history record) and exits non-zero on any regression;
+    ``trend`` tabulates a suite's metric trajectory across history.
+    """
+    from repro import bench
+    from repro.analysis.report import format_comparison
+    from repro.exceptions import BenchError
+
+    action = args.names[0]
+    history = args.history or bench.HISTORY_DIR
+    if action == "list":
+        rows = []
+        for suite in bench.list_suites(history):
+            journal = bench.read_history(history, suite)
+            records = journal["records"]
+            rows.append({
+                "suite": suite,
+                "runs": len(records),
+                "torn": journal["torn_lines"],
+                "latest": records[-1]["generated_at"] if records else "-",
+            })
+        if not rows:
+            return f"[no bench history under {history}]\n", 0
+        return format_comparison(
+            f"bench history: {len(rows)} suite(s) under {history}", rows,
+            columns=["suite", "runs", "torn", "latest"]), 0
+    if not args.suite:
+        raise SystemExit(f"bench {action} needs --suite, e.g. "
+                         f"`python -m repro.experiments bench {action} "
+                         f"--suite telemetry`")
+    if action == "trend":
+        journal = bench.read_history(history, args.suite)
+        text = bench.render_trend(args.suite, journal["records"],
+                                  metrics=args.metric)
+        if journal["torn_lines"]:
+            text += f"[{journal['torn_lines']} torn line(s) skipped]\n"
+        return text, 0
+    # compare: current snapshot vs the newest history record (or an
+    # explicit --baseline snapshot).
+    current_path = args.bench_file or f"BENCH_{args.suite}.json"
+    try:
+        current = bench.load_bench(current_path)
+        if args.baseline:
+            baseline = bench.load_bench(args.baseline)
+        else:
+            records = bench.read_history(history, args.suite)["records"]
+            if not records:
+                raise BenchError(
+                    f"no baseline: history journal "
+                    f"{bench.history_path(history, args.suite)} is empty "
+                    f"(pass --baseline or seed the journal)")
+            baseline = records[-1]
+        report = bench.compare(baseline, current)
+    except BenchError as error:
+        print(f"[bench compare failed: {error}]", file=sys.stderr)
+        return "", 2
+    return bench.render_compare(report), 0 if report["ok"] else 1
 
 
 def _run_profile(args: argparse.Namespace) -> tuple[str, list]:
@@ -429,6 +557,8 @@ def main(argv: list[str] | None = None) -> int:
                                                        "cluster-stats",
                                                        "metrics",
                                                        "trace",
+                                                       "logs",
+                                                       "bench",
                                                        "profile"],
                         help="which table/figure to regenerate, `sweep` / "
                              "`compile` for ad-hoc jobs, `verify` to "
@@ -441,12 +571,18 @@ def main(argv: list[str] | None = None) -> int:
                              "`metrics` to scrape the Prometheus "
                              "exposition from one server or a whole fleet, "
                              "`trace` to render a trace id's span "
-                             "waterfall, or `profile` to profile the "
+                             "waterfall (log events interleaved), `logs` "
+                             "to query structured events from one server "
+                             "or a merged fleet, `bench` to "
+                             "list/compare/trend the BENCH_*.json "
+                             "trajectory (compare exits non-zero on a "
+                             "regression), or `profile` to profile the "
                              "compile path per phase")
     parser.add_argument("names", nargs="*",
                         help="benchmark names for `sweep`/`verify`/"
-                             "`profile` (default: all) and `compile`, or "
-                             "the trace id for `trace`")
+                             "`profile` (default: all) and `compile`, "
+                             "the trace id for `trace`, or the action "
+                             "(list, compare, trend) for `bench`")
     parser.add_argument("--scale", default="laptop", choices=list(SCALES),
                         help="benchmark size scale for the large benchmarks")
     parser.add_argument("--shots", type=int, default=2048,
@@ -500,14 +636,47 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the static compilation verifier over "
                              "every result (`serve` only; job payloads "
                              "carry the verification report)")
+    parser.add_argument("--log-path", metavar="PATH",
+                        help="rotating JSONL event-log sink for `serve` "
+                             "(the in-memory ring and GET /logs work "
+                             "either way)")
     parser.add_argument("--api-key", metavar="KEY",
                         help="tenant API key sent as X-Repro-Key by "
                              "`cluster-sweep`, `cluster-stats`, `metrics`, "
-                             "`trace` and `tune`")
+                             "`trace`, `logs` and `tune`")
     parser.add_argument("--endpoint", action="append", metavar="URL",
                         help="compile-server URL for `cluster-sweep`, "
-                             "`cluster-stats`, `metrics`, `trace` and "
-                             "`tune`; repeat for each worker in the fleet")
+                             "`cluster-stats`, `metrics`, `trace`, `logs` "
+                             "and `tune`; repeat for each worker in the "
+                             "fleet")
+    parser.add_argument("--trace", metavar="ID",
+                        help="trace-id filter for `logs` (omit to query "
+                             "events across all traces)")
+    parser.add_argument("--level", metavar="LEVEL",
+                        help="minimum severity for `logs`: DEBUG, INFO, "
+                             "WARNING or ERROR")
+    parser.add_argument("--tenant", metavar="NAME",
+                        help="tenant-name filter for `logs`")
+    parser.add_argument("--since", type=float, metavar="TS",
+                        help="only events after this wall-clock unix "
+                             "timestamp (`logs`)")
+    parser.add_argument("--limit", type=int, metavar="N",
+                        help="keep only the newest N events (`logs`)")
+    parser.add_argument("--suite", metavar="NAME",
+                        help="benchmark suite for `bench compare` / "
+                             "`bench trend`, e.g. telemetry")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="baseline snapshot for `bench compare` "
+                             "(default: the newest history record)")
+    parser.add_argument("--bench-file", metavar="PATH",
+                        help="current snapshot for `bench compare` "
+                             "(default: BENCH_<suite>.json)")
+    parser.add_argument("--history", metavar="DIR",
+                        help="bench history journal directory "
+                             "(default: bench_history)")
+    parser.add_argument("--metric", action="append", metavar="NAME",
+                        help="dotted metric name(s) for `bench trend`; "
+                             "repeat for several columns")
     parser.add_argument("--strategy", default="halving",
                         choices=["halving", "grid", "random"],
                         help="search strategy for `tune` (halving races "
@@ -547,14 +716,34 @@ def main(argv: list[str] | None = None) -> int:
         if args.verify:
             parser.error("--verify only applies to `serve`; use the "
                          "`verify` command for local sweeps")
+        if args.log_path:
+            parser.error("--log-path only applies to `serve`")
     if args.experiment not in ("cluster-sweep", "cluster-stats", "tune",
-                               "metrics", "trace"):
+                               "metrics", "trace", "logs"):
         if args.endpoint:
             parser.error("--endpoint only applies to `cluster-sweep`, "
-                         "`cluster-stats`, `metrics`, `trace` and `tune`")
+                         "`cluster-stats`, `metrics`, `trace`, `logs` "
+                         "and `tune`")
         if args.api_key:
             parser.error("--api-key only applies to `cluster-sweep`, "
-                         "`cluster-stats`, `metrics`, `trace` and `tune`")
+                         "`cluster-stats`, `metrics`, `trace`, `logs` "
+                         "and `tune`")
+    if args.experiment != "logs":
+        for flag, given in (("--trace", args.trace),
+                            ("--level", args.level),
+                            ("--tenant", args.tenant),
+                            ("--since", args.since is not None),
+                            ("--limit", args.limit is not None)):
+            if given:
+                parser.error(f"{flag} only applies to `logs`")
+    if args.experiment != "bench":
+        for flag, given in (("--suite", args.suite),
+                            ("--baseline", args.baseline),
+                            ("--bench-file", args.bench_file),
+                            ("--history", args.history),
+                            ("--metric", args.metric)):
+            if given:
+                parser.error(f"{flag} only applies to `bench`")
     if args.experiment != "tune":
         for flag, given in (("--strategy", args.strategy != "halving"),
                             ("--trials", args.trials is not None),
@@ -590,8 +779,29 @@ def main(argv: list[str] | None = None) -> int:
                          "`python -m repro.experiments trace <id> "
                          "--endpoint http://127.0.0.1:8731` "
                          "(cluster-sweep prints its id when it starts)")
-        sys.stdout.write(_run_trace(args))
-        return 0
+        text, code = _run_trace(args)
+        sys.stdout.write(text)
+        return code
+    if args.experiment == "logs":
+        if not args.endpoint:
+            parser.error("logs needs at least one --endpoint URL "
+                         "(one queries that worker's /logs; several "
+                         "merge the fleet's events)")
+        if args.names:
+            parser.error("logs takes no positional names; filter with "
+                         "--trace/--tenant/--level/--since/--limit")
+        text, code = _run_logs(args)
+        sys.stdout.write(text)
+        return code
+    if args.experiment == "bench":
+        if len(args.names) != 1 or args.names[0] not in ("list", "compare",
+                                                         "trend"):
+            parser.error("bench takes exactly one action: list, compare "
+                         "or trend, e.g. `python -m repro.experiments "
+                         "bench compare --suite telemetry`")
+        text, code = _run_bench(args)
+        sys.stdout.write(text)
+        return code
     if args.experiment == "profile":
         if args.jobs != 1 or args.cache_dir:
             parser.error("--jobs/--cache-dir do not apply to `profile`; "
@@ -663,7 +873,7 @@ def main(argv: list[str] | None = None) -> int:
               workers=args.workers, queue_size=args.queue_size,
               tenants=args.tenants, store_dir=args.store_dir,
               burst_half_life=args.burst_half_life,
-              verify=args.verify)
+              verify=args.verify, log_path=args.log_path)
         return 0
 
     if args.experiment not in ("sweep", "compile", "verify"):

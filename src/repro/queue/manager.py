@@ -85,6 +85,9 @@ class JobManager:
         max_requeues: How many times a job orphaned RUNNING by a crash
             is requeued before being marked FAILED instead (guards
             against a poison job crash-looping the server forever).
+        events: Optional :class:`~repro.telemetry.events.EventLog`
+            shared with the queue: push/pop/shed and job lifecycle
+            transitions are narrated as structured events.
         clock: Monotonic time source for the entries/sec EWMA gauge;
             injectable so frozen-clock tests get deterministic rates.
     """
@@ -93,6 +96,7 @@ class JobManager:
                  workers: int = 2, queue_size: int = 64,
                  retention: int = 256, name: str = "repro",
                  scheduler=None, store=None, max_requeues: int = 1,
+                 events=None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if retention < 0:
             raise ServiceError(f"retention must be >= 0, got {retention}")
@@ -107,7 +111,9 @@ class JobManager:
         self._lock = threading.Lock()
         self._jobs: "OrderedDict[str, QueuedJob]" = OrderedDict()
         self._ids = itertools.count(1)
-        self.queue = JobQueue(capacity=queue_size, scheduler=scheduler)
+        self.events = events
+        self.queue = JobQueue(capacity=queue_size, scheduler=scheduler,
+                              events=events)
         self.submitted = 0
         self.completed = 0
         self.failed = 0
@@ -270,6 +276,23 @@ class JobManager:
             self._gc_locked()
             return job
 
+    def _emit(self, level: str, message: str, job: QueuedJob,
+              fields: Optional[Mapping[str, object]] = None) -> None:
+        """Narrate one job lifecycle event (no-op without an event log).
+
+        Correlation is explicit — lifecycle transitions happen on
+        worker threads after the job's span has closed, so nothing can
+        be pulled from the span context here.
+        """
+        if self.events is None:
+            return
+        tenant = getattr(job, "tenant", None)
+        self.events.emit(level, message, component="manager",
+                         tenant=tenant.name if tenant is not None else None,
+                         job_id=job.job_id,
+                         trace_id=getattr(job, "trace_id", None),
+                         fields=fields)
+
     def _tenant_bump(self, tenant, key: str) -> None:
         """Increment one per-tenant lifecycle counter (lock held)."""
         if tenant is None:
@@ -410,7 +433,8 @@ class JobManager:
             self._tenant_bump(job.tenant, "cancelled")
             if self.store is not None:
                 self.store.record_transition(job)
-            return job, True
+        self._emit("INFO", "job cancelled", job)
+        return job, True
 
     # ------------------------------------------------------------------
     # Worker side
@@ -437,6 +461,9 @@ class JobManager:
                 self._tenant_bump(job.tenant, "completed")
                 if self.store is not None:
                     self.store.record_transition(job)
+            self._emit("INFO", "job done", job,
+                       fields={"kind": job.kind,
+                               "entries": len(job.entries)})
 
     def _finish_failed(self, job: QueuedJob, error: BaseException) -> None:
         """Record a runner-raised error as a structured FAILED state.
@@ -466,6 +493,8 @@ class JobManager:
             self._tenant_bump(job.tenant, "failed")
             if self.store is not None:
                 self.store.record_transition(job)
+        self._emit("ERROR", f"job failed: {type(error).__name__}", job,
+                   fields={"kind": job.kind, "message": str(error)})
 
     def failure_exception(self, job: QueuedJob) -> Exception:
         """Rebuild the exception behind a FAILED job, preserving type."""

@@ -50,13 +50,19 @@ class JobQueue:
             order follows its composite score instead of the raw
             priority int, and pushes are charged to the submitting
             tenant's burst score.
+        events: Optional :class:`~repro.telemetry.events.EventLog`;
+            when present, every push/pop/shed is narrated as a
+            structured event (correlated to the submitting request's
+            span when one is active).
     """
 
-    def __init__(self, capacity: int = 64, scheduler=None) -> None:
+    def __init__(self, capacity: int = 64, scheduler=None,
+                 events=None) -> None:
         if capacity < 1:
             raise ServiceError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.scheduler = scheduler
+        self.events = events
         self._cond = threading.Condition()
         #: Heap of (-priority, sequence, job): max-priority, FIFO ties.
         #: Under a scheduler the list is scanned (scored at pop time)
@@ -109,6 +115,13 @@ class JobQueue:
                 depth = self._tenant_depth.get(tenant.name, 0)
                 if depth >= tenant.max_queued:
                     self.quota_rejected += 1
+                    if self.events is not None:
+                        self.events.warning(
+                            "job shed: tenant quota", component="queue",
+                            tenant=tenant.name, job_id=job.job_id,
+                            trace_id=getattr(job, "trace_id", None),
+                            fields={"depth": depth,
+                                    "max_queued": tenant.max_queued})
                     raise QuotaExceededError(
                         f"tenant {tenant.name!r} already has {depth}/"
                         f"{tenant.max_queued} job(s) waiting; retry "
@@ -118,6 +131,13 @@ class JobQueue:
                     )
             if len(self._heap) >= self.capacity:
                 self.rejected += 1
+                if self.events is not None:
+                    self.events.warning(
+                        "job shed: back-pressure", component="queue",
+                        tenant=self._tenant_name(job), job_id=job.job_id,
+                        trace_id=getattr(job, "trace_id", None),
+                        fields={"depth": len(self._heap),
+                                "capacity": self.capacity})
                 raise BackPressureError(
                     f"job queue is full ({len(self._heap)}/{self.capacity} "
                     f"jobs waiting); retry later",
@@ -129,6 +149,13 @@ class JobQueue:
             if self.scheduler is not None:
                 self.scheduler.on_push(job, record_burst)
             self.pushed += 1
+            if self.events is not None:
+                self.events.debug(
+                    "job queued", component="queue",
+                    tenant=self._tenant_name(job), job_id=job.job_id,
+                    trace_id=getattr(job, "trace_id", None),
+                    fields={"depth": len(self._heap),
+                            "priority": job.priority})
             self._cond.notify()
             return len(self._heap)
 
@@ -160,6 +187,12 @@ class JobQueue:
             if self._heap:
                 job = self._pop_locked()
                 self._depth_add(job, -1)
+                if self.events is not None:
+                    self.events.debug(
+                        "job popped", component="queue",
+                        tenant=self._tenant_name(job), job_id=job.job_id,
+                        trace_id=getattr(job, "trace_id", None),
+                        fields={"depth": len(self._heap)})
                 return job
             return None  # closed and drained
 

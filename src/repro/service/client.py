@@ -38,6 +38,7 @@ import http.client
 import json
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -240,6 +241,33 @@ class ServiceClient:
         """``GET /trace/<id>``: the server's recorded spans for one
         trace (defaults to this client's own trace id)."""
         return self._get(f"/trace/{trace_id or self.trace_id}")
+
+    def logs(self, trace: Optional[str] = None, *,
+             tenant: Optional[str] = None,
+             level: Optional[str] = None,
+             since: Optional[float] = None,
+             limit: Optional[int] = None) -> Dict:
+        """``GET /logs``: the server's structured events, filtered.
+
+        ``trace`` defaults to this client's own trace id; pass
+        ``trace=""`` explicitly to fetch events across all traces.
+        Filters compose (AND); ``level`` is a minimum severity.
+        """
+        if trace is None:
+            trace = self.trace_id
+        params = []
+        if trace:
+            params.append(f"trace={trace}")
+        if tenant:
+            params.append(f"tenant={urllib.parse.quote(tenant)}")
+        if level:
+            params.append(f"level={level}")
+        if since is not None:
+            params.append(f"since={since}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        suffix = f"?{'&'.join(params)}" if params else ""
+        return self._get(f"/logs{suffix}")
 
     # ------------------------------------------------------------------
     def compile_job(self, job: Union[CompileJob, Mapping[str, object]]

@@ -104,10 +104,14 @@ from repro.tenancy import (
     coerce_registry,
 )
 from repro.telemetry import (
+    LEVELS,
     TRACE_HEADER,
+    EventLog,
+    JsonlSink,
     MetricsRegistry,
     SpanRecorder,
     coerce_trace_id,
+    stderr_sink,
     valid_trace_id,
 )
 from repro.workloads.registry import SCALES, benchmark_names
@@ -180,6 +184,7 @@ class CompilationService:
                  tenants=None, store_dir: Optional[str] = None,
                  burst_half_life: float = DEFAULT_HALF_LIFE,
                  verify: bool = False,
+                 log_path: Optional[str] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if session is None:
             if cache_dir is not None:
@@ -198,10 +203,20 @@ class CompilationService:
         # Per-service span ring buffer (not process-global): in-process
         # multi-server tests must never see each other's traces.
         self.spans = SpanRecorder()
+        # Per-service event log for the same reason; sinks (stderr,
+        # JSONL file) are attached by make_server / the CLI.
+        self.events = EventLog()
+        self._log_sink = JsonlSink(log_path) if log_path else None
+        if self._log_sink is not None:
+            self.events.add_sink(self._log_sink)
         if getattr(session, "metrics", None) is None:
             # The session observes compile-phase histograms straight
             # into the service registry; /metrics serves them live.
             session.metrics = self.metrics
+        if getattr(session, "events", None) is None:
+            # Cache-tier and verifier events narrate into the service
+            # log, correlated through the worker's job.run span.
+            session.events = self.events
         self.clock = clock
         self.tenants = coerce_registry(tenants)
         self.scheduler = FairShareScheduler(half_life=burst_half_life,
@@ -211,6 +226,7 @@ class CompilationService:
                                   queue_size=queue_size,
                                   retention=retention, name="repro-service",
                                   scheduler=self.scheduler, store=self.store,
+                                  events=self.events,
                                   clock=clock)
         self._counters = threading.Lock()
         # Monotonic: uptime must survive wall-clock jumps (NTP, DST).
@@ -230,6 +246,8 @@ class CompilationService:
             self.manager.crash()
         else:
             self.manager.close(drain=drain)
+        if self._log_sink is not None:
+            self._log_sink.close()
 
     # ------------------------------------------------------------------
     # Authentication
@@ -241,7 +259,12 @@ class CompilationService:
         (anonymous) tenant; an unknown key raises
         :class:`~repro.exceptions.AuthError` (401 on the wire).
         """
-        return self.tenants.resolve(api_key)
+        try:
+            return self.tenants.resolve(api_key)
+        except AuthError:
+            self.events.warning("auth rejected: unknown api key",
+                                component="tenancy")
+            raise
 
     # ------------------------------------------------------------------
     # Request admission: validation + classification
@@ -336,9 +359,16 @@ class CompilationService:
                            start_mono=time.perf_counter() - wait,
                            duration=wait,
                            labels={"job_id": queued.job_id})
+        tenant = getattr(queued, "tenant", None)
+        labels = {"job_id": queued.job_id, "kind": queued.kind}
+        if tenant is not None:
+            labels["tenant"] = tenant.name
         with self.spans.span("job.run", trace_id=trace, parent_id=parent,
-                             labels={"job_id": queued.job_id,
-                                     "kind": queued.kind}):
+                             labels=labels):
+            # trace/span/tenant/job correlation rides the active span.
+            self.events.info("worker picked up job", component="worker",
+                             fields={"kind": queued.kind,
+                                     "wait_seconds": round(wait or 0.0, 6)})
             if queued.kind == "compile":
                 return self._execute_compile(queued)
             if queued.kind == "sweep":
@@ -579,6 +609,7 @@ class CompilationService:
             "queue": manager,
             "session": self.session.stats(),
             "tenants": self._tenant_stats(manager),
+            "events": self.events.stats(),
         }
 
     def stats(self) -> Dict[str, object]:
@@ -688,6 +719,18 @@ class CompilationService:
                     labelnames=("tier",)).labels(tier="disk").set(
                 disk["orphans_removed"])
 
+        events = snapshot.get("events")
+        if events:
+            per_level = counter("repro_log_events_total",
+                                "Structured log events recorded, by level.",
+                                labelnames=("level",))
+            for level in LEVELS:
+                per_level.labels(level=level).set(
+                    events["by_level"].get(level, 0))
+            counter("repro_log_events_dropped_total",
+                    "Structured log events evicted from the ring.").set(
+                events["dropped"])
+
         verify = session.get("verify")
         if verify:
             counter("repro_verify_results_total",
@@ -748,6 +791,32 @@ class CompilationService:
         return {"trace_id": trace_id, "count": len(spans),
                 "spans": [span.to_dict() for span in spans]}
 
+    def logs(self, *, trace: Optional[str] = None,
+             tenant: Optional[str] = None,
+             level: Optional[str] = None,
+             since: Optional[float] = None,
+             limit: Optional[int] = None) -> Dict[str, object]:
+        """``GET /logs``: filtered structured events from the ring.
+
+        Filters compose (AND): ``trace=`` an exact trace id, ``tenant=``
+        an exact tenant name, ``level=`` a *minimum* severity, ``since=``
+        a wall-clock lower bound (exclusive), ``limit=`` keeps the
+        newest N matches.  Events come back deterministically ordered by
+        ``(ts, event_id)`` in their ``to_dict`` wire form; the cluster
+        topology merges payloads from every shard, deduping on
+        ``(worker, event_id)``.
+        """
+        self._count_request()
+        if trace is not None and not valid_trace_id(trace):
+            raise ServiceError(f"invalid trace id {trace!r}")
+        if level is not None and str(level).upper() not in LEVELS:
+            raise ServiceError(f"unknown log level {level!r}; "
+                               f"expected one of {list(LEVELS)}")
+        events = self.events.events(trace=trace, tenant=tenant,
+                                    level=level, since=since, limit=limit)
+        return {"count": len(events),
+                "events": [event.to_dict() for event in events]}
+
     def registry(self) -> Dict[str, object]:
         """What the service can compile: benchmarks, policies, machines."""
         self._count_request()
@@ -782,7 +851,7 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     _KNOWN = ["GET /health", "GET /stats", "GET /metrics", "GET /registry",
-              "GET /trace/<id>",
+              "GET /trace/<id>", "GET /logs",
               "GET /jobs", "GET /jobs/<id>", "GET /jobs/<id>/entries",
               "POST /compile", "POST /sweep", "POST /jobs",
               "POST /jobs/<id>/cancel"]
@@ -792,6 +861,9 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     #: The request's coerced trace id (set per request in ``_route``).
     _trace_id: Optional[str] = None
+
+    #: True while handling an observability read (no access-log event).
+    _quiet: bool = False
 
     @staticmethod
     def _query_int(params: Dict[str, List[str]], name: str):
@@ -890,6 +962,14 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                 state = params.get("status", params.get("state", [None]))[0]
                 return lambda: service.list_jobs(
                     state=state, limit=self._query_int(params, "limit"))
+            if path == "/logs":
+                params = urllib.parse.parse_qs(query)
+                return lambda: service.logs(
+                    trace=params.get("trace", [None])[0],
+                    tenant=params.get("tenant", [None])[0],
+                    level=params.get("level", [None])[0],
+                    since=self._query_float(params, "since"),
+                    limit=self._query_int(params, "limit"))
             if len(parts) == 2 and parts[0] == "trace":
                 return lambda: service.trace(parts[1])
             if len(parts) == 2 and parts[0] == "jobs":
@@ -922,6 +1002,10 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         # absence) gets a fresh server-minted id, so every job record
         # and verbose log line carries one.
         self._trace_id = coerce_trace_id(self.headers.get(TRACE_HEADER))
+        # Observability reads must not perturb what they observe: no
+        # access-log event for scrapes/log fetches (the same reason
+        # they are not counted as requests).
+        self._quiet = path in ("/metrics", "/logs")
         try:
             service: CompilationService = self.server.service
             tenant = service.authenticate(self.headers.get(AUTH_HEADER))
@@ -951,16 +1035,35 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         except BackPressureError as error:
             self._send_error_json(503, error)
         except UnknownJobError as error:
+            self._event(404, method, path, error)
             self._send_error_json(404, error)
         except ReproError as error:
+            self._event(400, method, path, error)
             self._send_error_json(400, error)
         except Exception as error:  # pragma: no cover - defensive 500
+            self._event(500, method, path, error)
             self._send_error_json(500, error)
         else:
             if isinstance(response, str):
                 self._send_text(200, response)
             else:
                 self._send_json(200, response)
+
+    def _event(self, status: int, method: str, path: str,
+               error: Exception) -> None:
+        """Narrate a request failure into the service event log.
+
+        401/429/503 are *not* emitted here — their sources (tenancy
+        auth, quota shed, queue back-pressure) already emit richer
+        structured events; double-logging them would skew the counts.
+        """
+        service = getattr(self.server, "service", None)
+        if service is None:
+            return
+        service.events.warning(
+            f"request failed: {type(error).__name__}: {error}",
+            component="server", trace_id=self._trace_id,
+            fields={"method": method, "path": path, "status": status})
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -970,10 +1073,25 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         self._route("POST")
 
     def log_message(self, format: str, *args) -> None:
-        if getattr(self.server, "verbose", False):
-            if self._trace_id:
-                format = f"[trace={self._trace_id}] {format}"
-            BaseHTTPRequestHandler.log_message(self, format, *args)
+        """The classic http.server access line, as a structured event.
+
+        Every line lands in the service event log carrying the
+        request's trace id (and tenant/job ids when a span is active);
+        the human-readable stderr form is produced by the
+        :func:`~repro.telemetry.events.stderr_sink` that ``make_server``
+        attaches for verbose servers — so ``serve --verbose`` output
+        looks like before, but now greps by ``trace=``.
+        """
+        service = getattr(self.server, "service", None)
+        if service is None:  # pragma: no cover - bare handler use
+            if getattr(self.server, "verbose", False):
+                BaseHTTPRequestHandler.log_message(self, format, *args)
+            return
+        if getattr(self, "_quiet", False):
+            return
+        service.events.debug(format % args, component="http",
+                             trace_id=self._trace_id,
+                             fields={"client": self.address_string()})
 
 
 class CompilationHTTPServer(ThreadingHTTPServer):
@@ -1003,6 +1121,7 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                 tenants=None, store_dir: Optional[str] = None,
                 burst_half_life: Optional[float] = None,
                 verify: bool = False,
+                log_path: Optional[str] = None,
                 verbose: bool = False) -> CompilationHTTPServer:
     """Build a ready-to-serve compilation service HTTP server.
 
@@ -1010,7 +1129,9 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
     on a background thread in tests), and ``shutdown()`` +
     ``server_close()`` when done (``server_close`` also stops the worker
     pool).  Pass ``port=0`` to bind an ephemeral port (read it back from
-    ``server.server_address``).
+    ``server.server_address``).  ``verbose`` attaches the human-readable
+    stderr sink to the service event log; ``log_path`` a rotating JSONL
+    sink.
     """
     server = CompilationHTTPServer((host, port), ServiceHTTPHandler)
     server.service = service or CompilationService(
@@ -1020,8 +1141,10 @@ def make_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
         tenants=tenants, store_dir=store_dir,
         burst_half_life=(DEFAULT_HALF_LIFE if burst_half_life is None
                          else burst_half_life),
-        verify=verify)
+        verify=verify, log_path=log_path)
     server.verbose = verbose
+    if verbose:
+        server.service.events.add_sink(stderr_sink())
     return server
 
 
@@ -1033,6 +1156,7 @@ def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
           tenants=None, store_dir: Optional[str] = None,
           burst_half_life: Optional[float] = None,
           verify: bool = False,
+          log_path: Optional[str] = None,
           verbose: bool = True) -> None:
     """Run the service in the foreground until interrupted (CLI helper)."""
     server = make_server(host, port, jobs=jobs, cache_dir=cache_dir,
@@ -1040,7 +1164,7 @@ def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                          workers=workers, queue_size=queue_size,
                          tenants=tenants, store_dir=store_dir,
                          burst_half_life=burst_half_life,
-                         verify=verify,
+                         verify=verify, log_path=log_path,
                          verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro compilation service on http://{bound_host}:{bound_port} "

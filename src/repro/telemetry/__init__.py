@@ -13,9 +13,21 @@ Three small pieces, one observability story:
   propagation helpers;
 * :mod:`repro.telemetry.spans` — :class:`Span` / :class:`SpanRecorder`
   waterfalls on top of the trace ids, and the deterministic ASCII
-  renderer behind the ``trace`` CLI subcommand.
+  renderer behind the ``trace`` CLI subcommand;
+* :mod:`repro.telemetry.events` — :class:`LogEvent` / :class:`EventLog`
+  structured logging with automatic trace/span/tenant/job correlation,
+  a human-readable stderr sink, and a rotating JSONL disk sink.
 """
 
+from repro.telemetry.events import (
+    LEVELS,
+    EventLog,
+    JsonlSink,
+    LogEvent,
+    format_event,
+    read_events,
+    stderr_sink,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -48,6 +60,13 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "LEVELS",
+    "EventLog",
+    "JsonlSink",
+    "LogEvent",
+    "format_event",
+    "read_events",
+    "stderr_sink",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

@@ -323,8 +323,37 @@ def _label_text(labels: Mapping[str, str]) -> str:
     return " {" + ", ".join(parts) + "}"
 
 
-def render_waterfall(spans: Iterable[object], *, width: int = 32) -> str:
-    """Deterministic ASCII waterfall of one trace's spans.
+def _event_row(event: object) -> Dict[str, object]:
+    """Shape a log-event record like a span record for the waterfall.
+
+    Events are instants: zero duration, an empty ``span_id`` (so the
+    tree walk never recurses into them), and a parent of the span they
+    were emitted under — an event whose span is outside the buffer
+    renders as a root, like an orphan span.
+    """
+    record = (event.to_dict() if hasattr(event, "to_dict")
+              else dict(event))  # type: ignore[call-overload]
+    level = str(record.get("level") or "INFO")
+    message = str(record.get("message") or "")
+    return {
+        "span_id": "",
+        "parent_id": record.get("span_id"),
+        "trace_id": record.get("trace_id"),
+        "name": f"* {level.lower()}: {message}",
+        "start": float(record.get("ts") or 0.0),
+        "duration": 0.0,
+        "labels": record.get("fields") or {},
+        "worker": record.get("worker"),
+        "_sort": (float(record.get("ts") or 0.0),
+                  str(record.get("event_id") or "")),
+        "_event": True,
+    }
+
+
+def render_waterfall(spans: Iterable[object], *,
+                     events: Optional[Iterable[object]] = None,
+                     width: int = 32) -> str:
+    """Deterministic ASCII waterfall of one trace's spans (and events).
 
     Accepts :class:`Span` objects or their ``to_dict()`` records (the
     wire form returned by ``GET /trace/<id>``).  Orphans — spans whose
@@ -332,47 +361,68 @@ def render_waterfall(spans: Iterable[object], *, width: int = 32) -> str:
     roots.  Output is a pure function of the span records: siblings
     sort by (start, name, span_id) and the time scale is derived from
     the records alone.
+
+    ``events`` optionally interleaves log-event records (the wire form
+    of ``GET /logs``) onto the same time axis: each event renders as a
+    ``*`` marker line indented under the span it was emitted in, sorted
+    among that span's children by timestamp.  With no events the output
+    is byte-identical to the spans-only form.
     """
     records = [_as_record(span) for span in spans]
-    if not records:
+    event_rows = [_event_row(event) for event in (events or [])]
+    if not records and not event_rows:
         return "(no spans)\n"
     records.sort(key=lambda r: (r.get("start") or 0.0,
                                 str(r.get("name") or ""),
                                 str(r.get("span_id") or "")))
     by_id = {r["span_id"]: r for r in records if r.get("span_id")}
+    rows = records + sorted(event_rows, key=lambda r: r["_sort"])
+    rows.sort(key=lambda r: (r.get("start") or 0.0,
+                             str(r.get("name") or ""),
+                             str(r.get("span_id") or "")))
     children: Dict[Optional[str], List[Dict[str, object]]] = {}
-    for record in records:
+    for record in rows:
         parent = record.get("parent_id")
         if parent not in by_id:
             parent = None  # orphan: render as root
         children.setdefault(parent, []).append(record)
 
-    begin = min(float(r.get("start") or 0.0) for r in records)
+    begin = min(float(r.get("start") or 0.0) for r in rows)
     end = max(float(r.get("start") or 0.0) + float(r.get("duration") or 0.0)
-              for r in records)
+              for r in rows)
     total = max(end - begin, 1e-9)
 
-    trace_ids = sorted({str(r.get("trace_id")) for r in records})
-    lines = [f"trace {', '.join(trace_ids)} — {len(records)} span(s), "
-             f"{total:.6f}s"]
+    ids = {str(r.get("trace_id")) for r in records}
+    ids.update(str(r.get("trace_id")) for r in event_rows
+               if r.get("trace_id"))
+    trace_ids = sorted(ids or {"None"})
+    head = f"trace {', '.join(trace_ids)} — {len(records)} span(s)"
+    if event_rows:
+        head += f" + {len(event_rows)} event(s)"
+    lines = [head + f", {total:.6f}s"]
 
     name_width = max(
         len("  " * depth + str(r.get("name") or "?"))
-        for depth, r in _walk(children, None, 0)) if records else 8
+        for depth, r in _walk(children, None, 0)) if rows else 8
 
     for depth, record in _walk(children, None, 0):
         start = float(record.get("start") or 0.0) - begin
         duration = float(record.get("duration") or 0.0)
         left = int(round(start / total * width))
         left = min(left, width - 1)
-        length = max(1, int(round(duration / total * width)))
-        length = min(length, width - left)
-        bar = "." * left + "#" * length + "." * (width - left - length)
         name = "  " * depth + str(record.get("name") or "?")
         worker = record.get("worker")
         suffix = _label_text(record.get("labels") or {})
         if worker:
             suffix += f" @{worker}"
+        if record.get("_event"):
+            bar = "." * left + "*" + "." * (width - left - 1)
+            lines.append(f"{name:<{name_width}} |{bar}| "
+                         f"{start:>9.6f}s{suffix}")
+            continue
+        length = max(1, int(round(duration / total * width)))
+        length = min(length, width - left)
+        bar = "." * left + "#" * length + "." * (width - left - length)
         lines.append(f"{name:<{name_width}} |{bar}| "
                      f"{start:>9.6f}s +{duration:.6f}s{suffix}")
     return "\n".join(lines) + "\n"
